@@ -1,0 +1,135 @@
+// E3 — Theorem 3 / Theorem 5: AEBA with unreliable global coins. "With
+// probability at least 1 - e^{-C1 n} + 1/2^t, all but C2 n / log n of the
+// good processors commit to the same vote b, where b was the input of at
+// least one good processor" — given t honest coins among s rounds, on a
+// random k log n-regular graph.
+//
+// Three sweeps: corruption fraction (up to the 1/3 - eps boundary), coin
+// reliability t/s, and n (with the agreement deficit compared to the
+// C2 n / log n allowance).
+#include <cmath>
+
+#include "adversary/strategies.h"
+#include "aeba/aeba_with_coins.h"
+#include "bench_util.h"
+
+namespace ba {
+namespace {
+
+struct Outcome {
+  double agreement = 0;
+  double validity = 0;   // unanimous-input preservation rate
+  double informed = 0;
+};
+
+Outcome run_aeba_case(std::size_t n, double corrupt, double bad_coin_frac,
+                      std::size_t rounds, std::size_t seeds) {
+  Outcome out;
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    // Split-input agreement run.
+    {
+      Network net(n, n / 2);
+      Rng gr(300 + s);
+      auto graph = RegularGraph::random(
+          n, 2 * static_cast<std::size_t>(std::log2(n)), gr);
+      std::vector<ProcId> members(n);
+      for (std::size_t i = 0; i < n; ++i) members[i] = (ProcId)i;
+      AebaMachine machine(1, members, &graph, AebaParams{}, 1);
+      StaticMaliciousAdversary adv(corrupt, 400 + s);
+      adv.on_start(net);
+      Rng in(500 + s);
+      for (std::size_t p = 0; p < n; ++p)
+        machine.set_input(p, 0, in.flip());
+      std::vector<bool> bad(rounds, false);
+      Rng badr(600 + s);
+      for (std::size_t r = 0; r < rounds; ++r)
+        bad[r] = badr.bernoulli(bad_coin_frac);
+      UnreliableCoins coins(Rng(700 + s), bad);
+      coins.attach_votes(&machine.packed_votes(), machine.num_instances());
+      auto res = run_aeba(net, adv, machine, coins, rounds);
+      out.agreement += res.agreement[0];
+      out.informed += res.min_informed_fraction;
+    }
+    // Unanimous-input validity run.
+    {
+      Network net(n, n / 2);
+      Rng gr(310 + s);
+      auto graph = RegularGraph::random(
+          n, 2 * static_cast<std::size_t>(std::log2(n)), gr);
+      std::vector<ProcId> members(n);
+      for (std::size_t i = 0; i < n; ++i) members[i] = (ProcId)i;
+      AebaMachine machine(1, members, &graph, AebaParams{}, 1);
+      StaticMaliciousAdversary adv(corrupt, 410 + s);
+      adv.on_start(net);
+      for (std::size_t p = 0; p < n; ++p) machine.set_input(p, 0, true);
+      std::vector<bool> bad(rounds, false);
+      Rng badr(610 + s);
+      for (std::size_t r = 0; r < rounds; ++r)
+        bad[r] = badr.bernoulli(bad_coin_frac);
+      UnreliableCoins coins(Rng(710 + s), bad);
+      coins.attach_votes(&machine.packed_votes(), machine.num_instances());
+      auto res = run_aeba(net, adv, machine, coins, rounds);
+      out.validity +=
+          (res.decided[0] && res.agreement[0] >= 0.95) ? 1.0 : 0.0;
+    }
+  }
+  const double d = static_cast<double>(seeds);
+  out.agreement /= d;
+  out.validity /= d;
+  out.informed /= d;
+  return out;
+}
+
+}  // namespace
+}  // namespace ba
+
+int main() {
+  using namespace ba;
+  const bool full = bench::full_mode();
+  const std::size_t seeds = full ? 10 : 4;
+  const std::size_t rounds = 24;
+
+  {
+    const std::size_t n = full ? 1000 : 400;
+    Table t(
+        "E3a / Theorem 5 — AEBA agreement vs corruption fraction "
+        "(random 2 log n-regular graph, 1/3 of coins adversarial)");
+    t.header({"corrupt", "agreement", "allowance 1-C2/log n", "validity",
+              "min_informed"});
+    for (double c : {0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30}) {
+      auto o = run_aeba_case(n, c, 1.0 / 3.0, rounds, seeds);
+      t.row({c, o.agreement,
+             1.0 - 1.5 / bench::log2d(static_cast<double>(n)), o.validity,
+             o.informed});
+    }
+    bench::print(t);
+  }
+  {
+    const std::size_t n = full ? 1000 : 400;
+    Table t(
+        "E3b / Theorem 3 — AEBA agreement vs fraction of adversarial coin "
+        "rounds (20% corruption; the theorem needs only t honest rounds)");
+    t.header({"bad_coin_frac", "agreement", "validity"});
+    for (double b : {0.0, 0.2, 1.0 / 3.0, 0.5, 0.7, 0.9}) {
+      auto o = run_aeba_case(n, 0.2, b, rounds, seeds);
+      t.row({b, o.agreement, o.validity});
+    }
+    bench::print(t);
+  }
+  {
+    Table t(
+        "E3c / Theorem 5 — AEBA agreement vs n (20% corruption, 1/3 bad "
+        "coins): deficit shrinks like C2/log n");
+    t.header({"n", "agreement", "deficit", "C2/log n (C2=1.5)"});
+    const std::vector<std::size_t> ns =
+        full ? std::vector<std::size_t>{128, 256, 512, 1024, 2048, 4096}
+             : std::vector<std::size_t>{128, 256, 512, 1024};
+    for (auto n : ns) {
+      auto o = run_aeba_case(n, 0.2, 1.0 / 3.0, rounds, seeds);
+      t.row({static_cast<std::int64_t>(n), o.agreement, 1.0 - o.agreement,
+             1.5 / bench::log2d(static_cast<double>(n))});
+    }
+    bench::print(t);
+  }
+  return 0;
+}

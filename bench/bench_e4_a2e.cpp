@@ -1,0 +1,124 @@
+// E4 — Theorem 4 + Lemmas 7-10: Almost-Everywhere-To-Everywhere. Claims
+// regenerated:
+//   * Lemma 7(1): one loop succeeds with probability >= 1 - 4/(eps log n)
+//     - 1/n^c (measured per-loop success rate).
+//   * Lemma 7(2)/10: (w.h.p.) no processor decides a wrong message, and
+//     after X = O(log n) loops everyone agrees.
+//   * Lemma 9: at most (eps/4) n knowledgeable processors overloaded.
+//   * Theorem 4 cost: Õ(sqrt n) bits per processor (fitted exponent).
+#include <cmath>
+
+#include "adversary/strategies.h"
+#include "bench_util.h"
+#include "core/a2e.h"
+
+namespace ba {
+namespace {
+
+std::function<std::uint64_t(std::size_t, ProcId)> labels_from(
+    std::uint64_t seed) {
+  return [seed](std::size_t loop, ProcId) {
+    std::uint64_t s = seed + loop * 1000003ULL;
+    return splitmix64(s);
+  };
+}
+
+}  // namespace
+}  // namespace ba
+
+int main() {
+  using namespace ba;
+  const bool full = bench::full_mode();
+  const std::size_t seeds = full ? 8 : 3;
+
+  {
+    // (a) knowledgeable-fraction sweep at fixed n.
+    const std::size_t n = full ? 1024 : 512;
+    Table t(
+        "E4a / Lemmas 7-8 — A2E vs knowledgeable fraction (20% corrupt "
+        "responders answer wrongly): loop success and wrong decisions");
+    t.header({"knowledgeable", "first_loop_success", "final_agree_frac",
+              "wrong_frac", "paper_bound 1-4/(eps*log n)"});
+    for (double k : {0.55, 0.65, 0.75, 0.85, 0.95}) {
+      double first = 0, agree = 0, wrong = 0;
+      for (std::uint64_t s = 0; s < seeds; ++s) {
+        Network net(n, n / 3);
+        FloodingA2EAdversary adv(0.2, 800 + s);
+        adv.on_start(net);
+        Rng pick(900 + s);
+        std::vector<std::uint64_t> beliefs(n, 0);
+        for (auto p : pick.sample_without_replacement(
+                 n, static_cast<std::size_t>(k * n)))
+          beliefs[p] = 1;
+        AlmostToEverywhere a2e(A2EParams::laptop_scale(n), 1000 + s);
+        auto res = a2e.run(net, adv, beliefs, 1, labels_from(1100 + s));
+        first += res.loops.front().loop_success ? 1 : 0;
+        const double good =
+            static_cast<double>(net.good_procs().size());
+        agree += static_cast<double>(res.agree_count) / good;
+        wrong += static_cast<double>(res.wrong_count) / good;
+      }
+      const double d = static_cast<double>(seeds);
+      t.row({k, first / d, agree / d, wrong / d,
+             1.0 - 4.0 / (0.1 * bench::log2d(static_cast<double>(n)))});
+    }
+    bench::print(t);
+  }
+  {
+    // (b) Lemma 9 — overload under flooding.
+    const std::size_t n = full ? 1024 : 512;
+    Table t(
+        "E4b / Lemma 9 — knowledgeable processors overloaded per loop "
+        "under request flooding (bound: (eps/4) n w.p. 1 - 4/(eps log n))");
+    t.header({"flood_per_pair", "max_overloaded", "bound (eps/4)n"});
+    for (std::size_t flood : {0u, 64u, 256u, 1024u}) {
+      std::size_t worst = 0;
+      for (std::uint64_t s = 0; s < seeds; ++s) {
+        Network net(n, n / 3);
+        FloodingA2EAdversary adv(0.25, 1200 + s, flood);
+        adv.on_start(net);
+        std::vector<std::uint64_t> beliefs(n, 1);
+        AlmostToEverywhere a2e(A2EParams::laptop_scale(n), 1300 + s);
+        auto res = a2e.run(net, adv, beliefs, 1, labels_from(1400 + s));
+        for (const auto& loop : res.loops)
+          worst = std::max(worst, loop.overloaded_knowledgeable);
+      }
+      t.row({static_cast<std::int64_t>(flood),
+             static_cast<std::int64_t>(worst),
+             static_cast<double>(n) * 0.1 / 4.0});
+    }
+    bench::print(t);
+  }
+  {
+    // (c) Theorem 4 cost shape — bits/processor vs n.
+    Table t("E4c / Theorem 4 — A2E per-processor bits ~ O~(sqrt n)");
+    t.header({"n", "max_bits/proc", "bits/(sqrt(n)*log2(n)^2)"});
+    std::vector<double> xs, ys;
+    const std::vector<std::size_t> ns =
+        full ? std::vector<std::size_t>{256, 1024, 4096, 16384}
+             : std::vector<std::size_t>{256, 1024, 4096};
+    for (auto n : ns) {
+      Network net(n, n / 3);
+      PassiveStaticAdversary adv({});
+      std::vector<std::uint64_t> beliefs(n, 1);
+      A2EParams ap = A2EParams::laptop_scale(n);
+      ap.repeats = 2;
+      AlmostToEverywhere a2e(ap, 1500);
+      a2e.run(net, adv, beliefs, 1, labels_from(1600));
+      const double bits = static_cast<double>(
+          net.ledger().max_bits_sent(net.corrupt_mask(), false));
+      const double logn = bench::log2d(static_cast<double>(n));
+      xs.push_back(static_cast<double>(n));
+      ys.push_back(bits);
+      t.row({static_cast<std::int64_t>(n), bits,
+             bits / (std::sqrt(static_cast<double>(n)) * logn * logn)});
+    }
+    bench::print(t);
+    Table fit("E4c — fitted exponent");
+    fit.header({"series", "measured_b", "paper_reference"});
+    fit.row({std::string("a2e bits/proc"), fit_log_log_exponent(xs, ys),
+             std::string("0.5 + o(1) (Theorem 4)")});
+    bench::print(fit);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E6 — Lemma 6 + Figure 1: "At least a 2/3 - 7l/log n fraction of winning
+// arrays are good on every level l" — the per-level survival trace of good
+// arrays through the tournament (the left half of Figure 1 is exactly this
+// tree; the table is its quantitative content).
+#include <cmath>
+
+#include "adversary/strategies.h"
+#include "bench_util.h"
+#include "core/almost_everywhere.h"
+
+int main() {
+  using namespace ba;
+  const bool full = bench::full_mode();
+  const std::size_t seeds = full ? 6 : 3;
+  const std::vector<std::size_t> ns =
+      full ? std::vector<std::size_t>{512, 4096}
+           : std::vector<std::size_t>{512};
+
+  for (auto n : ns) {
+    for (double corrupt : {0.0, 0.05, 0.10, 0.15}) {
+      Table t("E6 / Lemma 6 — good winning-array fraction per level, n=" +
+              std::to_string(n) + ", corrupt=" + std::to_string(corrupt));
+      t.header({"level", "elections", "winners", "good_winners",
+                "good_frac", "bound 2/3-7l/log n", "election_agreement"});
+      std::vector<double> frac_sum;
+      std::vector<AeLevelStats> acc;
+      for (std::uint64_t s = 0; s < seeds; ++s) {
+        Network net(n, n / 3);
+        StaticMaliciousAdversary adv(corrupt, 100 + s);
+        AlmostEverywhereBA proto(ProtocolParams::laptop_scale(n), 500 + s);
+        auto res = proto.run(net, adv, bench::random_inputs(n, 700 + s),
+                             /*release_sequence=*/false);
+        if (acc.size() < res.levels.size()) {
+          AeLevelStats zero;
+          zero.mean_bin_agreement = 0.0;  // accumulator, not a default
+          acc.resize(res.levels.size(), zero);
+        }
+        for (std::size_t i = 0; i < res.levels.size(); ++i) {
+          acc[i].level = res.levels[i].level;
+          acc[i].elections += res.levels[i].elections;
+          acc[i].winners_total += res.levels[i].winners_total;
+          acc[i].winners_good += res.levels[i].winners_good;
+          acc[i].mean_bin_agreement += res.levels[i].mean_bin_agreement;
+        }
+      }
+      const double logn = bench::log2d(static_cast<double>(n));
+      for (const auto& lvl : acc) {
+        const double frac =
+            lvl.winners_total == 0
+                ? 1.0
+                : static_cast<double>(lvl.winners_good) /
+                      static_cast<double>(lvl.winners_total);
+        t.row({static_cast<std::int64_t>(lvl.level),
+               static_cast<std::int64_t>(lvl.elections),
+               static_cast<std::int64_t>(lvl.winners_total),
+               static_cast<std::int64_t>(lvl.winners_good), frac,
+               2.0 / 3.0 - 7.0 * static_cast<double>(lvl.level) / logn,
+               lvl.mean_bin_agreement / static_cast<double>(seeds)});
+      }
+      bench::print(t);
+    }
+  }
+  return 0;
+}

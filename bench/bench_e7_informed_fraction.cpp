@@ -1,0 +1,91 @@
+// E7 — Lemma 11: "with probability at least 1 - e^{-C1 n}, in any given
+// round of Algorithm 5, all but C2 n / log n of the good processors are
+// informed, for G a k log n regular graph where k depends only on C1, C2
+// and eps0."
+//
+// Sweeps the degree multiplier k and n, reporting the minimum informed
+// fraction over all rounds against the 1 - C2/log n allowance.
+#include <cmath>
+
+#include "adversary/strategies.h"
+#include "aeba/aeba_with_coins.h"
+#include "bench_util.h"
+
+namespace ba {
+namespace {
+
+struct Informed {
+  double mean;
+  double min;
+};
+
+Informed informed_stats(std::size_t n, double k_mult, double corrupt,
+                        std::size_t rounds, std::uint64_t seed) {
+  Network net(n, n / 2);
+  Rng gr(seed);
+  const std::size_t degree = std::max<std::size_t>(
+      3, static_cast<std::size_t>(k_mult * std::log2(n)));
+  auto graph = RegularGraph::random(n, degree, gr);
+  std::vector<ProcId> members(n);
+  for (std::size_t i = 0; i < n; ++i) members[i] = (ProcId)i;
+  AebaMachine machine(1, members, &graph, AebaParams{}, 1);
+  StaticMaliciousAdversary adv(corrupt, seed + 1);
+  adv.on_start(net);
+  Rng in(seed + 2);
+  for (std::size_t p = 0; p < n; ++p) machine.set_input(p, 0, in.flip());
+  SharedRandomCoins coins(Rng(seed + 3));
+  auto res = run_aeba(net, adv, machine, coins, rounds);
+  return {res.mean_informed_fraction, res.min_informed_fraction};
+}
+
+}  // namespace
+}  // namespace ba
+
+int main() {
+  using namespace ba;
+  const bool full = bench::full_mode();
+  const std::size_t seeds = full ? 8 : 3;
+  const std::size_t rounds = 12;
+
+  {
+    const std::size_t n = full ? 2048 : 512;
+    Table t(
+        "E7a / Lemma 11 — informed fraction vs degree multiplier k "
+        "(degree = k log2 n, 20% malicious), n=" + std::to_string(n));
+    t.header({"k", "degree", "mean_informed", "min_informed",
+              "allowance 1-C2/log n"});
+    for (double k : {0.5, 1.0, 2.0, 3.0, 4.0}) {
+      double worst = 1.0, mean = 0.0;
+      for (std::uint64_t s = 0; s < seeds; ++s) {
+        auto st = informed_stats(n, k, 0.2, rounds, 9000 + 17 * s);
+        worst = std::min(worst, st.min);
+        mean += st.mean;
+      }
+      t.row({k,
+             static_cast<std::int64_t>(std::max<std::size_t>(
+                 3, static_cast<std::size_t>(k * std::log2(n)))),
+             mean / static_cast<double>(seeds), worst,
+             1.0 - 1.5 / bench::log2d(static_cast<double>(n))});
+    }
+    bench::print(t);
+  }
+  {
+    Table t(
+        "E7b / Lemma 11 — mean informed fraction vs n (degree 2 log2 n, "
+        "20% malicious): deficit tracks C2/log n");
+    t.header({"n", "mean_informed", "deficit", "C2/log n (C2=1.5)"});
+    const std::vector<std::size_t> ns =
+        full ? std::vector<std::size_t>{128, 256, 512, 1024, 2048, 4096, 8192}
+             : std::vector<std::size_t>{128, 512, 2048};
+    for (auto n : ns) {
+      double mean = 0;
+      for (std::uint64_t s = 0; s < seeds; ++s)
+        mean += informed_stats(n, 2.0, 0.2, rounds, 9100 + 13 * s).mean;
+      mean /= static_cast<double>(seeds);
+      t.row({static_cast<std::int64_t>(n), mean, 1.0 - mean,
+             1.5 / bench::log2d(static_cast<double>(n))});
+    }
+    bench::print(t);
+  }
+  return 0;
+}

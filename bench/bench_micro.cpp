@@ -1,0 +1,132 @@
+// µ — google-benchmark microbenchmarks for the hot substrate paths:
+// field arithmetic, Shamir deal/reconstruct, Berlekamp–Welch decode,
+// sampler construction, network round throughput, one AEBA round.
+#include <benchmark/benchmark.h>
+
+#include "aeba/aeba_with_coins.h"
+#include "crypto/berlekamp_welch.h"
+#include "crypto/shamir.h"
+#include "net/network.h"
+#include "sampler/sampler.h"
+
+namespace ba {
+namespace {
+
+void BM_FieldMul(benchmark::State& state) {
+  Rng rng(1);
+  Fp a(rng.next()), b(rng.next());
+  for (auto _ : state) {
+    a = a * b + Fp(1);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMul);
+
+void BM_FieldInverse(benchmark::State& state) {
+  Rng rng(2);
+  Fp a(rng.next() | 1);
+  for (auto _ : state) {
+    a = a.inverse() + Fp(1);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldInverse);
+
+void BM_ShamirDeal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  ShamirScheme scheme(n, n / 4);
+  std::vector<Fp> secret(16);
+  for (auto& w : secret) w = Fp(rng.next());
+  for (auto _ : state) {
+    auto shares = scheme.deal(secret, rng);
+    benchmark::DoNotOptimize(shares);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 16);
+}
+BENCHMARK(BM_ShamirDeal)->Arg(8)->Arg(12)->Arg(32);
+
+void BM_ShamirReconstruct(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  ShamirScheme scheme(n, n / 4);
+  std::vector<Fp> secret(16);
+  for (auto& w : secret) w = Fp(rng.next());
+  auto shares = scheme.deal(secret, rng);
+  for (auto _ : state) {
+    auto rec = scheme.reconstruct(shares);
+    benchmark::DoNotOptimize(rec);
+  }
+}
+BENCHMARK(BM_ShamirReconstruct)->Arg(8)->Arg(12)->Arg(32);
+
+void BM_BerlekampWelchClean(benchmark::State& state) {
+  Rng rng(5);
+  ShamirScheme scheme(12, 3);
+  auto shares = scheme.deal({Fp(rng.next())}, rng);
+  for (auto _ : state) {
+    auto rec = robust_reconstruct(shares, 3);
+    benchmark::DoNotOptimize(rec);
+  }
+}
+BENCHMARK(BM_BerlekampWelchClean);
+
+void BM_BerlekampWelchTwoErrors(benchmark::State& state) {
+  Rng rng(6);
+  ShamirScheme scheme(12, 3);
+  auto shares = scheme.deal({Fp(rng.next())}, rng);
+  shares[1].ys[0] = Fp(123);
+  shares[5].ys[0] = Fp(456);
+  for (auto _ : state) {
+    auto rec = robust_reconstruct(shares, 3);
+    benchmark::DoNotOptimize(rec);
+  }
+}
+BENCHMARK(BM_BerlekampWelchTwoErrors);
+
+void BM_SamplerBuild(benchmark::State& state) {
+  const auto r = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    Sampler s(r, r / 2, 12, /*distinct=*/true, rng);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SamplerBuild)->Arg(256)->Arg(4096);
+
+void BM_NetworkRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Network net(n, n / 3);
+  for (auto _ : state) {
+    for (ProcId p = 0; p < n; ++p)
+      net.send(p, (p + 1) % static_cast<ProcId>(n),
+               make_value_payload(1, p, 1));
+    net.advance_round();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NetworkRound)->Arg(1024)->Arg(4096);
+
+void BM_AebaRound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Network net(n, n / 3);
+  Rng gr(8);
+  auto graph = RegularGraph::random(n, 12, gr);
+  std::vector<ProcId> members(n);
+  for (std::size_t i = 0; i < n; ++i) members[i] = static_cast<ProcId>(i);
+  AebaMachine machine(1, members, &graph, AebaParams{}, 48);
+  SharedRandomCoins coins(Rng(9));
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    machine.send_votes(net);
+    net.advance_round();
+    machine.tally_votes(net, coins, round++);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AebaRound)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace ba
+
+BENCHMARK_MAIN();

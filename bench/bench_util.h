@@ -1,0 +1,55 @@
+// Shared scaffolding for the experiment benches (DESIGN.md §4).
+//
+// Every bench prints one or more `ba::Table`s with a caption naming the
+// paper claim it regenerates. Set BA_BENCH_FULL=1 for the larger sweeps
+// used in EXPERIMENTS.md; the default is a quick pass that finishes in
+// seconds-to-a-couple-of-minutes per binary.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "metrics/experiment.h"
+
+namespace ba::bench {
+
+inline bool full_mode() {
+  const char* v = std::getenv("BA_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+/// BA_BENCH_CSV=1 switches table output to CSV (for plotting pipelines).
+inline bool csv_mode() {
+  const char* v = std::getenv("BA_BENCH_CSV");
+  return v != nullptr && v[0] == '1';
+}
+
+inline std::vector<std::uint8_t> random_inputs(std::size_t n,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> in(n);
+  for (auto& b : in) b = rng.flip() ? 1 : 0;
+  return in;
+}
+
+inline std::vector<std::uint8_t> unanimous(std::size_t n, std::uint8_t b) {
+  return std::vector<std::uint8_t>(n, b);
+}
+
+inline double log2d(double x) { return std::log2(x); }
+
+inline void print(const Table& t) {
+  if (csv_mode()) {
+    std::cout << "# " << t.caption() << '\n';
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  std::cout << '\n';
+}
+
+}  // namespace ba::bench

@@ -1,0 +1,26 @@
+// Ben-Or's 1983 randomized Byzantine agreement with *local* coins — the
+// second quadratic baseline: no shared randomness at all, two all-to-all
+// broadcast phases per round, expected-constant rounds when inputs are
+// near-unanimous and exponential in the worst case. Tolerates t < n/5
+// (the classic analysis). Experiment E9 uses it to show that avoiding
+// shared-coin setup does not escape the Θ(n²) bit cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/rabin_ba.h"
+#include "common/rng.h"
+#include "net/adversary.h"
+#include "net/network.h"
+
+namespace ba {
+
+/// Run Ben-Or for up to `max_rounds` (stops once every good processor has
+/// decided). Returns the usual baseline metrics; `agreement_fraction`
+/// counts procs whose current value matches the good majority.
+BaselineResult run_benor_ba(Network& net, Adversary& adversary,
+                            const std::vector<std::uint8_t>& inputs,
+                            std::uint64_t seed, std::size_t max_rounds);
+
+}  // namespace ba

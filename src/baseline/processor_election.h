@@ -1,0 +1,48 @@
+// The non-adaptive predecessor design: a KSSV'06-style tournament that
+// elects *processors* instead of secret-shared arrays (Section 1.3: "This
+// election approach is prima facie impossible with an adaptive adversary,
+// which can simply wait until a small set is elected and then can take
+// over all processors in that set").
+//
+// Per node, candidate processors publish random bin choices in the clear;
+// lightest-bin winners advance. The final committee (the root's
+// candidates) broadcasts the agreed bit to everyone, who take a majority.
+// Against a *static* adversary this is a fine sub-quadratic protocol;
+// against the adaptive winner-takeover adversary (experiment E10) the
+// committee is simply corrupted after the last election and agreement
+// collapses — the behaviour King–Saia's array election eliminates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/rabin_ba.h"
+#include "core/almost_everywhere.h"  // TournamentObserver
+#include "election/feige.h"
+#include "net/adversary.h"
+#include "net/network.h"
+#include "tree/tournament_tree.h"
+
+namespace ba {
+
+struct ProcessorElectionResult {
+  BaselineResult ba;                      ///< final agreement metrics
+  std::vector<ProcId> committee;          ///< root-level winners
+  std::size_t committee_corrupt = 0;      ///< corrupted members at the end
+};
+
+class ProcessorElectionBA {
+ public:
+  ProcessorElectionBA(const TreeParams& tree_params, std::size_t winners,
+                      std::uint64_t seed);
+
+  ProcessorElectionResult run(Network& net, Adversary& adversary,
+                              const std::vector<std::uint8_t>& inputs);
+
+ private:
+  TreeParams tree_params_;
+  std::size_t w_;
+  Rng rng_;
+};
+
+}  // namespace ba

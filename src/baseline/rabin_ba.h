@@ -1,0 +1,40 @@
+// Rabin-1983 randomized Byzantine agreement with all-to-all voting — the
+// Θ(n²)-bits-per-round folklore baseline the paper's introduction quotes
+// against ("Byzantine agreement requires a number of messages quadratic in
+// the number of participants").
+//
+// Each round every processor broadcasts its vote (n² messages), tallies
+// exactly, keeps a super-majority value or follows a shared global coin.
+// With a reliable coin it terminates in O(1) expected rounds; the cost
+// profile — Θ(n) bits per processor per round, Θ(n²) total — is what
+// experiment E9 compares against the tournament protocol's Õ(√n).
+//
+// Structurally this is Algorithm 5 run on the *complete* graph with a
+// reliable coin, so we reuse AebaMachine; Rabin's original thresholds
+// (2/3) coincide with the machine's threshold at eps0 -> 0.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aeba/aeba_with_coins.h"
+#include "net/adversary.h"
+#include "net/network.h"
+
+namespace ba {
+
+struct BaselineResult {
+  bool decided_bit = false;       ///< good-majority final vote
+  double agreement_fraction = 0;  ///< good procs agreeing with it
+  bool validity = false;          ///< unanimous good input preserved
+  std::uint64_t rounds = 0;
+  bool all_good_agree = false;
+};
+
+/// Run Rabin's algorithm for up to `max_rounds` rounds (stops early once
+/// every good processor agrees).
+BaselineResult run_rabin_ba(Network& net, Adversary& adversary,
+                            const std::vector<std::uint8_t>& inputs,
+                            CoinSource& coins, std::size_t max_rounds);
+
+}  // namespace ba

@@ -1,0 +1,38 @@
+// Lightweight contract-checking macros (C++ Core Guidelines I.6/I.8 style).
+//
+// BA_REQUIRE  — precondition on public API arguments; always on.
+// BA_ENSURE   — postcondition / internal invariant; always on.
+// Both throw std::logic_error so tests can assert on violations instead of
+// aborting the whole test binary.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ba {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace ba
+
+#define BA_REQUIRE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ba::contract_failure("precondition", #cond, __FILE__, __LINE__,    \
+                             (msg));                                       \
+  } while (0)
+
+#define BA_ENSURE(cond, msg)                                               \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ba::contract_failure("invariant", #cond, __FILE__, __LINE__,       \
+                             (msg));                                       \
+  } while (0)

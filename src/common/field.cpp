@@ -1,0 +1,49 @@
+#include "common/field.h"
+
+namespace ba {
+
+Fp Fp::pow(std::uint64_t e) const {
+  Fp base = *this;
+  Fp acc(1);
+  while (e != 0) {
+    if (e & 1) acc *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return acc;
+}
+
+Fp Fp::inverse() const {
+  BA_REQUIRE(!is_zero(), "zero has no multiplicative inverse");
+  // Fermat: a^(p-2) mod p.
+  return pow(kP - 2);
+}
+
+Fp poly_eval(const std::vector<Fp>& coeffs, Fp x) {
+  Fp acc(0);
+  for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it) {
+    acc = acc * x + *it;  // Horner
+  }
+  return acc;
+}
+
+Fp lagrange_at_zero(const std::vector<Fp>& xs, const std::vector<Fp>& ys) {
+  BA_REQUIRE(!xs.empty() && xs.size() == ys.size(),
+             "need matching non-empty point vectors");
+  const std::size_t m = xs.size();
+  Fp acc(0);
+  for (std::size_t i = 0; i < m; ++i) {
+    Fp num(1);
+    Fp den(1);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      BA_REQUIRE(xs[i] != xs[j], "interpolation points must be distinct");
+      num *= Fp(0) - xs[j];        // (0 - x_j)
+      den *= xs[i] - xs[j];        // (x_i - x_j)
+    }
+    acc += ys[i] * num * den.inverse();
+  }
+  return acc;
+}
+
+}  // namespace ba

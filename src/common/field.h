@@ -1,0 +1,91 @@
+// Arithmetic in GF(p) with p = 2^61 - 1 (a Mersenne prime).
+//
+// This is the algebra under the Shamir threshold scheme in `crypto/`.
+// The paper (Section 3.1) assumes any (n, t+1) non-verifiable threshold
+// scheme; Shamir over a ~61-bit prime field makes one "word" of the paper's
+// arrays exactly one field element, so share sizes equal secret sizes
+// (shares of size proportional to the message, as the paper requires).
+//
+// All operations are total and constant-time-ish; invariants: every Fp
+// value is canonical in [0, p).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ba {
+
+/// Bits in one field word — the unit of the paper's bit accounting.
+inline constexpr std::size_t kWordBits = 61;
+
+/// A value in GF(2^61 - 1). Regular value type.
+class Fp {
+ public:
+  static constexpr std::uint64_t kP = (1ULL << 61) - 1;
+
+  constexpr Fp() : v_(0) {}
+  /// Reduces any 64-bit value into the field.
+  constexpr explicit Fp(std::uint64_t v) : v_(reduce64(v)) {}
+
+  constexpr std::uint64_t value() const { return v_; }
+
+  friend constexpr bool operator==(Fp a, Fp b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Fp a, Fp b) { return a.v_ != b.v_; }
+
+  friend constexpr Fp operator+(Fp a, Fp b) {
+    std::uint64_t s = a.v_ + b.v_;  // < 2^62, no overflow
+    if (s >= kP) s -= kP;
+    return from_canonical(s);
+  }
+  friend constexpr Fp operator-(Fp a, Fp b) {
+    std::uint64_t s = a.v_ + kP - b.v_;
+    if (s >= kP) s -= kP;
+    return from_canonical(s);
+  }
+  friend Fp operator*(Fp a, Fp b) {
+    unsigned __int128 prod =
+        static_cast<unsigned __int128>(a.v_) * static_cast<unsigned __int128>(b.v_);
+    // Mersenne reduction: x = hi*2^61 + lo ≡ hi + lo (mod 2^61 - 1).
+    std::uint64_t lo = static_cast<std::uint64_t>(prod) & kP;
+    std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+    std::uint64_t s = lo + hi;
+    if (s >= kP) s -= kP;
+    return from_canonical(s);
+  }
+
+  Fp& operator+=(Fp o) { return *this = *this + o; }
+  Fp& operator-=(Fp o) { return *this = *this - o; }
+  Fp& operator*=(Fp o) { return *this = *this * o; }
+
+  /// a^e by square-and-multiply.
+  Fp pow(std::uint64_t e) const;
+
+  /// Multiplicative inverse. Requires non-zero.
+  Fp inverse() const;
+
+  constexpr bool is_zero() const { return v_ == 0; }
+
+ private:
+  static constexpr Fp from_canonical(std::uint64_t v) {
+    Fp f;
+    f.v_ = v;
+    return f;
+  }
+  static constexpr std::uint64_t reduce64(std::uint64_t v) {
+    std::uint64_t r = (v & kP) + (v >> 61);
+    if (r >= kP) r -= kP;
+    return r;
+  }
+  std::uint64_t v_;
+};
+
+/// Evaluate polynomial with coefficients `coeffs` (constant term first) at x.
+Fp poly_eval(const std::vector<Fp>& coeffs, Fp x);
+
+/// Lagrange interpolation at x = 0 from points (xs[i], ys[i]).
+/// Requires distinct xs and xs.size() == ys.size() >= 1.
+Fp lagrange_at_zero(const std::vector<Fp>& xs, const std::vector<Fp>& ys);
+
+}  // namespace ba

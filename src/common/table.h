@@ -1,0 +1,48 @@
+// Aligned-text and CSV table output shared by the bench harnesses.
+//
+// Every bench binary in bench/ prints one (or a few) tables in the same
+// format: a caption naming the paper claim, a header row, then data rows.
+// Keeping formatting here means every experiment reads the same way in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ba {
+
+/// One cell: string, integer or double (printed with %.4g-style precision).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  explicit Table(std::string caption);
+
+  Table& header(std::vector<std::string> cols);
+  Table& row(std::vector<Cell> cells);
+
+  /// Aligned plain-text rendering with the caption on top.
+  void print(std::ostream& os) const;
+
+  /// CSV rendering (no caption; header first).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::string& caption() const { return caption_; }
+
+ private:
+  static std::string render(const Cell& c);
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Least-squares slope of log(y) vs log(x): the fitted exponent b in
+/// y ≈ a·x^b. Used by benches to report scaling shape. Ignores pairs with
+/// non-positive coordinates; requires at least two usable points.
+double fit_log_log_exponent(const std::vector<double>& xs,
+                            const std::vector<double>& ys);
+
+}  // namespace ba

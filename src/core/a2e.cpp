@@ -1,0 +1,192 @@
+#include "core/a2e.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace ba {
+
+namespace {
+std::size_t log2_ceil(std::size_t n) {
+  std::size_t b = 0;
+  while ((std::size_t{1} << b) < n) ++b;
+  return b;
+}
+}  // namespace
+
+A2EParams A2EParams::laptop_scale(std::size_t n) {
+  A2EParams p;
+  p.sqrt_n = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  // The paper's a = Theta(c / eps^2) constant is what makes the
+  // per-label Chernoff bounds (Lemma 8) hold w.h.p.; keep it generous.
+  const std::size_t logn = std::max<std::size_t>(1, log2_ceil(n));
+  p.requests_per_label = std::max<std::size_t>(24, 4 * logn);
+  p.repeats = std::max<std::size_t>(2, logn / 2);
+  p.overload_cap = p.sqrt_n * logn;
+  p.per_sender_cap = std::max<std::size_t>(4, p.sqrt_n);
+  p.eps = 0.1;
+  return p;
+}
+
+AlmostToEverywhere::AlmostToEverywhere(const A2EParams& params,
+                                       std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  BA_REQUIRE(params_.sqrt_n >= 1, "need at least one label");
+  BA_REQUIRE(params_.requests_per_label >= 1, "need at least one request");
+  BA_REQUIRE(params_.repeats >= 1, "need at least one loop");
+}
+
+A2EResult AlmostToEverywhere::run(
+    Network& net, Adversary& adversary,
+    const std::vector<std::uint64_t>& message, std::uint64_t truth_m,
+    const std::function<std::uint64_t(std::size_t, ProcId)>& label_view) {
+  const std::size_t n = net.size();
+  BA_REQUIRE(message.size() == n, "one message belief per processor");
+  adversary.on_start(net);
+  auto* attacker = dynamic_cast<A2EAttacker*>(&adversary);
+
+  const std::size_t labels = params_.sqrt_n;
+  const std::size_t rpl = params_.requests_per_label;
+  const std::size_t label_bits = std::max<std::size_t>(1, log2_ceil(labels));
+  const std::size_t threshold = params_.decision_threshold();
+
+  A2EResult result;
+  result.message = message;
+  result.decided.assign(n, false);
+
+  struct Incoming {
+    ProcId from;
+    std::uint32_t label;
+  };
+  struct Response {
+    std::uint32_t label;
+    std::uint64_t msg;
+  };
+
+  for (std::size_t loop = 0; loop < params_.repeats; ++loop) {
+    A2ELoopStats stats;
+    stats.loop = loop;
+
+    // ---- Phase 1: requests (one network round).
+    std::vector<std::vector<Incoming>> incoming(n);
+    // targets[p] is row-major [label][slot]; needed to validate responses.
+    std::vector<std::vector<std::uint32_t>> targets(n);
+    for (ProcId p = 0; p < n; ++p) {
+      if (net.is_corrupt(p)) continue;
+      auto& tgt = targets[p];
+      tgt.resize(labels * rpl);
+      for (std::size_t i = 0; i < labels; ++i) {
+        for (std::size_t s = 0; s < rpl; ++s) {
+          const auto q = static_cast<std::uint32_t>(rng_.below(n));
+          tgt[i * rpl + s] = q;
+          net.charge_bulk(p, q, label_bits);
+          incoming[q].push_back({p, static_cast<std::uint32_t>(i)});
+        }
+      }
+    }
+    if (attacker != nullptr) {
+      std::vector<A2EAttacker::FloodRequest> flood;
+      attacker->flood_requests(net, loop, params_, flood);
+      // Receiver-side flooding guard: a sender exceeding per_sender_cap
+      // requests toward one receiver is evidently corrupt — all its
+      // requests to that receiver are dropped (Section 4.1).
+      std::unordered_map<std::uint64_t, std::size_t> pair_count;
+      for (const auto& f : flood) {
+        BA_REQUIRE(net.is_corrupt(f.from), "only corrupt procs flood");
+        net.charge_bulk(f.from, f.to, label_bits);
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(f.from) << 32) | f.to;
+        if (++pair_count[key] > params_.per_sender_cap) continue;
+        incoming[f.to].push_back(
+            {f.from, static_cast<std::uint32_t>(f.label % labels)});
+      }
+    }
+    net.advance_round();
+
+    // ---- Phase 2: the loop's global label (from the coin subsequence).
+    // ---- Phase 3: responses (one network round).
+    std::vector<std::vector<Response>> responses(n);
+    for (ProcId q = 0; q < n; ++q) {
+      if (net.is_corrupt(q)) {
+        if (attacker == nullptr) continue;
+        const std::uint64_t k_known = label_view(loop, q) % labels;
+        for (const auto& in : incoming[q]) {
+          if (net.is_corrupt(in.from)) continue;
+          auto r = attacker->respond(q, in.from, in.label, k_known, truth_m);
+          if (!r) continue;
+          net.charge_bulk(q, in.from, kWordBits + label_bits);
+          responses[in.from].push_back({in.label, *r});
+        }
+        continue;
+      }
+      const std::uint32_t kq =
+          static_cast<std::uint32_t>(label_view(loop, q) % labels);
+      std::size_t k_load = 0;
+      for (const auto& in : incoming[q])
+        if (in.label == kq) ++k_load;
+      if (k_load > params_.overload_cap) {
+        if (result.message[q] == truth_m) ++stats.overloaded_knowledgeable;
+        continue;
+      }
+      for (const auto& in : incoming[q]) {
+        if (in.label != kq) continue;
+        net.charge_bulk(q, in.from, kWordBits + label_bits);
+        responses[in.from].push_back({in.label, result.message[q]});
+      }
+    }
+    net.advance_round();
+
+    // ---- Phase 4: decisions (local).
+    std::vector<std::size_t> label_count(labels);
+    for (ProcId p = 0; p < n; ++p) {
+      if (net.is_corrupt(p) || result.decided[p]) continue;
+      std::fill(label_count.begin(), label_count.end(), 0);
+      for (const auto& r : responses[p]) ++label_count[r.label % labels];
+      std::uint32_t imax = 0;
+      for (std::uint32_t i = 1; i < labels; ++i)
+        if (label_count[i] > label_count[imax]) imax = i;
+      if (label_count[imax] == 0) continue;
+      std::unordered_map<std::uint64_t, std::size_t> msg_count;
+      for (const auto& r : responses[p])
+        if (r.label % labels == imax) ++msg_count[r.msg];
+      for (const auto& [m, c] : msg_count) {
+        if (c >= threshold) {
+          result.decided[p] = true;
+          result.message[p] = m;
+          break;
+        }
+      }
+    }
+
+    bool success = true;
+    std::size_t decided_total = 0, decided_wrong = 0;
+    for (ProcId p = 0; p < n; ++p) {
+      if (net.is_corrupt(p)) continue;
+      if (result.decided[p]) {
+        ++decided_total;
+        if (result.message[p] != truth_m) ++decided_wrong;
+      }
+      if (result.message[p] != truth_m) success = false;
+    }
+    stats.decided_total = decided_total;
+    stats.decided_wrong = decided_wrong;
+    stats.loop_success = success;
+    result.loops.push_back(stats);
+  }
+
+  result.agree_count = 0;
+  result.wrong_count = 0;
+  for (ProcId p = 0; p < n; ++p) {
+    if (net.is_corrupt(p)) continue;
+    if (result.message[p] == truth_m)
+      ++result.agree_count;
+    else
+      ++result.wrong_count;
+  }
+  result.all_good_agree = result.wrong_count == 0;
+  result.rounds = net.round();
+  return result;
+}
+
+}  // namespace ba

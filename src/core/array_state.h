@@ -1,0 +1,75 @@
+// Bookkeeping for candidate arrays and their iterated shares.
+//
+// A share's position in the iterated-sharing hierarchy (Definition 1) is
+// its *chain*: (mp1, x2, x3, ..., xl) where mp1 is the leaf member
+// position of the original 1-share and x_i in [1..d_up] is the evaluation
+// point assigned at the i-th re-dealing. The chain determines the holder:
+// the 1-share lives at leaf position mp1, and the i-share produced from a
+// share at position p lives at parent position uplinks(p)[x_i - 1]. This
+// positional determinism is what makes the paper's "corresponding uplinks
+// from each of its other children" (sendDown) well defined.
+//
+// Chains pack into one 64-bit word: 8 bits for mp1 (k1 <= 256), 4 bits
+// per subsequent element (d_up <= 15), so up to 14 tree levels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/field.h"
+
+namespace ba {
+
+using Chain = std::uint64_t;
+
+inline Chain chain_root(std::uint16_t mp1) {
+  BA_REQUIRE(mp1 < 256, "leaf member position must fit 8 bits");
+  return mp1;
+}
+
+/// Element i of a chain: i == 0 is mp1, i >= 1 is x_{i+1} in [1..15].
+inline std::uint16_t chain_elem(Chain c, std::size_t i) {
+  if (i == 0) return static_cast<std::uint16_t>(c & 0xFF);
+  return static_cast<std::uint16_t>((c >> (8 + 4 * (i - 1))) & 0xF);
+}
+
+/// Append evaluation point x (1..15) to a chain of length `len`.
+inline Chain chain_extend(Chain c, std::size_t len, std::uint16_t x) {
+  BA_REQUIRE(x >= 1 && x <= 15, "evaluation point must fit 4 bits, nonzero");
+  BA_REQUIRE(len >= 1 && len <= 14, "chain too long to extend");
+  return c | (static_cast<Chain>(x) << (8 + 4 * (len - 1)));
+}
+
+/// Drop the last element of a chain of length `len` (len >= 2).
+inline Chain chain_parent(Chain c, std::size_t len) {
+  BA_REQUIRE(len >= 2, "1-shares have no parent share");
+  const int shift = static_cast<int>(8 + 4 * (len - 2));
+  return c & ((Chain{1} << shift) - 1);
+}
+
+/// One iterated share held inside a node: its chain, its holder's member
+/// position in that node, and the still-secret word values.
+struct ShareRec {
+  Chain chain = 0;
+  std::uint32_t holder_pos = 0;
+  std::vector<Fp> ys;
+};
+
+/// A candidate array's protocol state: where its shares currently live and
+/// (for instrumentation only — never read by the protocol itself) the
+/// ground-truth words its owner generated.
+struct ArrayState {
+  std::uint32_t id = 0;           ///< original owner processor
+  bool alive = true;              ///< still in the running
+  std::size_t level = 1;          ///< level of the node holding the shares
+  std::size_t node_idx = 0;       ///< node index within that level
+  std::size_t word_offset = 0;    ///< words [0, word_offset) already consumed
+  std::vector<ShareRec> recs;
+
+  // -- instrumentation (ground truth, not visible to the protocol) --
+  std::vector<std::uint64_t> truth;  ///< the array the owner generated
+  bool owner_good_at_gen = true;     ///< owner honest when it dealt
+};
+
+}  // namespace ba

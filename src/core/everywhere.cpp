@@ -1,0 +1,45 @@
+#include "core/everywhere.h"
+
+namespace ba {
+
+EverywhereBA::EverywhereBA(const ProtocolParams& params,
+                           const A2EParams& a2e_params, std::uint64_t seed)
+    : params_(params), a2e_params_(a2e_params), seed_(seed) {}
+
+EverywhereResult EverywhereBA::run(Network& net, Adversary& adversary,
+                                   const std::vector<std::uint8_t>& inputs) {
+  EverywhereResult result;
+
+  // Phase 1: almost-everywhere agreement + coin subsequence.
+  AlmostEverywhereBA ae(params_, seed_);
+  result.ae = ae.run(net, adversary, inputs, /*release_sequence=*/true);
+  result.decided_bit = result.ae.decided_bit;
+
+  // Phase 2: Algorithm 3, one loop per released sequence word. Every good
+  // processor's belief is its phase-1 decision; label views come from its
+  // own (almost-everywhere agreed) sequence views.
+  A2EParams a2e_params = a2e_params_;
+  a2e_params.repeats =
+      std::min(a2e_params.repeats,
+               result.ae.seq_views.empty() ? std::size_t{1}
+                                           : result.ae.seq_views.size());
+  const std::size_t n = net.size();
+  std::vector<std::uint64_t> beliefs(n);
+  for (ProcId p = 0; p < n; ++p) beliefs[p] = result.ae.decision[p];
+  const auto* views = &result.ae.seq_views;
+  auto label_view = [views](std::size_t loop, ProcId p) -> std::uint64_t {
+    if (views->empty()) return 0;
+    return (*views)[loop % views->size()][p];
+  };
+
+  AlmostToEverywhere a2e(a2e_params, seed_ ^ 0xA2E);
+  result.a2e = a2e.run(net, adversary, beliefs,
+                       result.decided_bit ? 1 : 0, label_view);
+
+  result.all_good_agree = result.a2e.all_good_agree;
+  result.validity = result.ae.validity;
+  result.rounds = net.round();
+  return result;
+}
+
+}  // namespace ba

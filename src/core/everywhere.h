@@ -1,0 +1,53 @@
+// Algorithm 4 — Everywhere Byzantine Agreement (Theorem 1).
+//
+//   1. Run Almost-Everywhere BA (Algorithm 2 + §3.5): almost all good
+//      processors agree on a bit and on a sequence of mostly-random words.
+//   2. For each loop, GenerateSecretNumber(i) — the i-th released sequence
+//      word, reduced to [0, sqrt(n)) — serves as the global random label
+//      of the Almost-Everywhere-To-Everywhere protocol (Algorithm 3).
+//
+// Since more than c log n of the released numbers are good, some loop
+// succeeds w.h.p. and every good processor ends holding the agreed bit.
+// The per-processor cost is dominated by Algorithm 3's Õ(sqrt(n)) bits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/a2e.h"
+#include "core/almost_everywhere.h"
+
+namespace ba {
+
+struct EverywhereResult {
+  AeResult ae;              ///< phase 1 outcome
+  A2EResult a2e;            ///< phase 2 outcome
+  bool decided_bit = false; ///< good-majority decision
+  bool all_good_agree = false;
+  bool validity = false;
+  std::uint64_t rounds = 0;
+};
+
+class EverywhereBA {
+ public:
+  EverywhereBA(const ProtocolParams& params, const A2EParams& a2e_params,
+               std::uint64_t seed);
+
+  /// Convenience: both parameter sets at laptop scale.
+  static EverywhereBA make(std::size_t n, std::uint64_t seed) {
+    return EverywhereBA(ProtocolParams::laptop_scale(n),
+                        A2EParams::laptop_scale(n), seed);
+  }
+
+  const ProtocolParams& params() const { return params_; }
+
+  EverywhereResult run(Network& net, Adversary& adversary,
+                       const std::vector<std::uint8_t>& inputs);
+
+ private:
+  ProtocolParams params_;
+  A2EParams a2e_params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ba

@@ -1,0 +1,59 @@
+#include "core/global_coin.h"
+
+#include <unordered_map>
+
+namespace ba {
+
+std::uint64_t sequence_plurality(const AeResult& ae, std::size_t idx,
+                                 const std::vector<bool>& corrupt) {
+  BA_REQUIRE(idx < ae.seq_views.size(), "sequence index out of range");
+  std::unordered_map<std::uint64_t, std::size_t> counts;
+  for (std::size_t p = 0; p < ae.seq_views[idx].size(); ++p)
+    if (!corrupt[p]) ++counts[ae.seq_views[idx][p]];
+  std::uint64_t best = 0;
+  std::size_t best_count = 0;
+  for (const auto& [v, c] : counts) {
+    if (c > best_count) {
+      best_count = c;
+      best = v;
+    }
+  }
+  return best;
+}
+
+double sequence_agreement(const AeResult& ae, std::size_t idx,
+                          const std::vector<bool>& corrupt) {
+  const std::uint64_t plural = sequence_plurality(ae, idx, corrupt);
+  std::size_t total = 0, agree = 0;
+  for (std::size_t p = 0; p < ae.seq_views[idx].size(); ++p) {
+    if (corrupt[p]) continue;
+    ++total;
+    agree += ae.seq_views[idx][p] == plural ? 1 : 0;
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(agree) / static_cast<double>(total);
+}
+
+SequenceQuality assess_sequence(const AeResult& ae,
+                                const std::vector<bool>& corrupt,
+                                double agreement_bar) {
+  SequenceQuality q;
+  q.length = ae.seq_views.size();
+  double bit_sum = 0.0;
+  for (std::size_t i = 0; i < q.length; ++i) {
+    if (!ae.seq_word_good[i]) continue;
+    ++q.good_owner;
+    const double agree = sequence_agreement(ae, i, corrupt);
+    const bool matches =
+        sequence_plurality(ae, i, corrupt) == ae.seq_truth[i];
+    if (agree < agreement_bar || !matches) continue;  // damaged en route
+    ++q.good_words;
+    q.min_good_agreement = std::min(q.min_good_agreement, agree);
+    bit_sum += static_cast<double>(ae.seq_truth[i] & 1);
+  }
+  if (q.good_words > 0)
+    q.good_bit_bias = bit_sum / static_cast<double>(q.good_words);
+  return q;
+}
+
+}  // namespace ba

@@ -1,0 +1,45 @@
+// §3.5 — the global coin subsequence: helpers to consume the sequence
+// released by AlmostEverywhereBA and to assess its quality (experiment
+// E11, Theorem 2's (s, 2s/3) claim).
+//
+// The released sequence has one word per (sequence round, root candidate).
+// Words contributed by good arrays are uniform random and agreed by a
+// 1 - O(1/log n) fraction of good processors; bad-array words are
+// arbitrary and possibly inconsistent across processors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/almost_everywhere.h"
+
+namespace ba {
+
+/// Plurality view of sequence word `idx` among good processors.
+std::uint64_t sequence_plurality(const AeResult& ae, std::size_t idx,
+                                 const std::vector<bool>& corrupt);
+
+/// Fraction of good processors whose view equals the plurality view.
+double sequence_agreement(const AeResult& ae, std::size_t idx,
+                          const std::vector<bool>& corrupt);
+
+struct SequenceQuality {
+  std::size_t length = 0;       ///< s
+  std::size_t good_owner = 0;   ///< words contributed by honest generators
+  /// t of Theorem 2's (s, 2s/3): words that are *usable* coins — honest
+  /// generator, plurality view equals the generated truth, and at least
+  /// `agreement_bar` of good processors share that view. An honest array
+  /// whose shares were damaged en route no longer counts (it is no longer
+  /// "known almost everywhere").
+  std::size_t good_words = 0;
+  double min_good_agreement = 1.0;  ///< min view agreement over good words
+  double good_bit_bias = 0.5;       ///< mean of good words' low bits
+};
+
+/// Aggregate quality of the released sequence against Theorem 2's claims.
+/// `agreement_bar` is the almost-everywhere bar (1 - O(1/log n)).
+SequenceQuality assess_sequence(const AeResult& ae,
+                                const std::vector<bool>& corrupt,
+                                double agreement_bar = 0.85);
+
+}  // namespace ba

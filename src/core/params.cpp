@@ -1,0 +1,87 @@
+#include "core/params.h"
+
+namespace ba {
+
+namespace {
+std::size_t log2_ceil(std::size_t n) {
+  std::size_t b = 0;
+  while ((std::size_t{1} << b) < n) ++b;
+  return b;
+}
+}  // namespace
+
+ProtocolParams ProtocolParams::laptop_scale(std::size_t n) {
+  ProtocolParams p;
+  p.tree.n = n;
+  // Branching: ~n^(1/3)-ish so trees have 3-5 levels; the paper's
+  // q = log^delta n grows similarly slowly relative to n.
+  p.tree.q = n <= 128 ? 4 : 8;  // keeps trees at 3-5 levels
+  // Leaf membership: a corrupt leaf member destroys its 1-share *once and
+  // for the whole subtree* (every descendant leaf inherits the deficit),
+  // so the leaf dealing needs the widest error budget: k1 = 12, t = 3,
+  // Berlekamp-Welch corrects 4. The paper's k1 = log^3 n absorbs this
+  // asymptotically.
+  p.tree.k1 = 12;
+  // Same margin for the uplink re-dealings: t = d/4 = 3 corrects
+  // e = (12 - 4) / 2 = 4 of 12 shares (a 1/3 error fraction). At laptop
+  // scale the binomial tail of corrupt-holders-per-dealing is what limits
+  // the tolerable corruption rate — see DESIGN.md §6 and experiment E12.
+  p.tree.d_up = 12;
+  p.tree.d_link = 9;  // sendOpen plurality needs only 2 agreeing leaf samples;
+                      // 9 samples keep member views right even when half
+                      // the leaf reconstructions are damaged (paper: log^3 n)
+  p.w = 2;
+  // Theorem 5's graph is k log n-regular with k "sufficiently large";
+  // below ~2 log2 n the threshold test's sampling noise lets local
+  // clusters survive coin rounds (E12d quantifies this).
+  p.g_intra = std::max<std::size_t>(8, 2 * log2_ceil(n));
+  p.coin_words = 2;
+  p.aeba.eps = 0.1;
+  p.aeba.eps0 = 0.05;
+  return p;
+}
+
+ArrayLayout::ArrayLayout(const ProtocolParams& params,
+                         const TournamentTree& tree)
+    : num_levels_(tree.num_levels()),
+      q_(params.tree.q),
+      w_(params.w) {
+  BA_REQUIRE(num_levels_ >= 3,
+             "tree too flat: need at least leaf, one election level, root");
+  block_offsets_.assign(num_levels_, 0);
+  std::size_t off = 0;
+  for (std::size_t lvl = 2; lvl + 1 <= num_levels_; ++lvl) {
+    block_offsets_[lvl - 1] = off;
+    off += 1 + r_at(lvl);
+  }
+  // Root candidates: the root's children are election nodes (L >= 3), each
+  // forwarding w winners.
+  const std::size_t root_children =
+      tree.node(num_levels_, 0).children.size();
+  r_root_ = root_children * w_;
+  root_offset_ = off;
+  off += kRootWords;
+  seq_offset_ = off;
+  seq_words_ = params.coin_words * r_root_;
+  off += params.coin_words;
+  total_words_ = off;
+}
+
+std::size_t ArrayLayout::r_at(std::size_t level) const {
+  BA_REQUIRE(level >= 2 && level + 1 <= num_levels_,
+             "elections happen on levels 2 .. L-1");
+  return level == 2 ? q_ : q_ * w_;
+}
+
+std::size_t ArrayLayout::block_offset(std::size_t level) const {
+  BA_REQUIRE(level >= 2 && level + 1 <= num_levels_,
+             "elections happen on levels 2 .. L-1");
+  return block_offsets_[level - 1];
+}
+
+std::size_t ArrayLayout::offset_after_level(std::size_t level) const {
+  if (level + 1 == num_levels_) return root_offset_;
+  return block_offset(level + 1);
+}
+
+}  // namespace ba

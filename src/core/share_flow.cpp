@@ -1,0 +1,291 @@
+#include "core/share_flow.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ba {
+
+namespace {
+
+/// Holder member position of a share with the given chain (length `len`)
+/// inside its level-`len` node: walk the positional uplink samplers.
+std::uint32_t chain_pos(const TournamentTree& tree, Chain c,
+                        std::size_t len) {
+  std::uint32_t pos = chain_elem(c, 0);
+  for (std::size_t i = 1; i < len; ++i)
+    pos = tree.uplinks(i).at(pos)[chain_elem(c, i) - 1];
+  return pos;
+}
+
+/// Per-word plurality over (value, count) pairs; garbage values are random
+/// 61-bit words so accidental collisions are negligible.
+Fp plurality(const std::vector<Fp>& values) {
+  Fp best = values.empty() ? Fp(0) : values[0];
+  std::size_t best_count = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::size_t count = 0;
+    for (const Fp& v : values)
+      if (v == values[i]) ++count;
+    if (count > best_count) {
+      best_count = count;
+      best = values[i];
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ShareFlow::ShareFlow(const ProtocolParams& params, const TournamentTree& tree,
+                     Network& net, Rng rng)
+    : params_(params), tree_(tree), net_(net), rng_(rng) {}
+
+std::vector<ShareRec> ShareFlow::deal_to_leaf(ProcId owner,
+                                              std::size_t leaf_idx,
+                                              const std::vector<Fp>& words) {
+  const TreeNode& leaf = tree_.node(1, leaf_idx);
+  const std::size_t k1 = leaf.members.size();
+  const std::size_t t1 = params_.privacy_threshold(k1);
+  std::vector<ShareRec> recs;
+  if (silent(owner)) return recs;  // crashed dealer: nobody gets anything
+  recs.resize(k1);
+  std::vector<VectorShare> shares;
+  if (!lying(owner)) {
+    ShamirScheme scheme(k1, t1);
+    shares = scheme.deal(words, rng_);
+  }
+  for (std::size_t pos = 0; pos < k1; ++pos) {
+    recs[pos].chain = chain_root(static_cast<std::uint16_t>(pos));
+    recs[pos].holder_pos = static_cast<std::uint32_t>(pos);
+    if (lying(owner)) {
+      recs[pos].ys.resize(words.size());
+      for (auto& y : recs[pos].ys) y = garbage();
+    } else {
+      recs[pos].ys = std::move(shares[pos].ys);
+    }
+    net_.charge_bulk(owner, leaf.members[pos], words.size() * kWordBits);
+  }
+  return recs;
+}
+
+void ShareFlow::send_secret_up(
+    ArrayState& a, std::size_t new_offset,
+    const std::function<bool(std::size_t)>& holder_forwards) {
+  BA_REQUIRE(a.level + 1 <= tree_.num_levels(), "array already at the root");
+  BA_REQUIRE(new_offset >= a.word_offset, "cannot grow the secret suffix");
+  const TreeNode& c_node = tree_.node(a.level, a.node_idx);
+  BA_REQUIRE(c_node.parent != SIZE_MAX, "node has no parent");
+  const TreeNode& p_node = tree_.node(a.level + 1, c_node.parent);
+  const Sampler& up = tree_.uplinks(a.level);
+  const std::size_t d = up.degree();
+  const std::size_t t = params_.privacy_threshold(d);
+  const std::size_t drop = new_offset - a.word_offset;
+
+  std::vector<ShareRec> next;
+  next.reserve(a.recs.size() * d);
+  ShamirScheme scheme(d, t);
+  for (const ShareRec& rec : a.recs) {
+    const ProcId holder = c_node.members[rec.holder_pos];
+    const bool corrupt = net_.is_corrupt(holder);
+    if (silent(holder)) continue;
+    if (!corrupt && !holder_forwards(rec.holder_pos)) continue;
+    BA_REQUIRE(drop <= rec.ys.size(), "offset beyond stored words");
+    std::vector<Fp> slice(rec.ys.begin() + drop, rec.ys.end());
+
+    std::vector<VectorShare> dealt;
+    if (lying(holder)) {
+      dealt.resize(d);
+      for (std::size_t i = 0; i < d; ++i) {
+        dealt[i].x = static_cast<std::uint32_t>(i + 1);
+        dealt[i].ys.resize(slice.size());
+        for (auto& y : dealt[i].ys) y = garbage();
+      }
+    } else {
+      dealt = scheme.deal(slice, rng_);
+    }
+    const auto& targets = up.at(rec.holder_pos);
+    for (std::size_t i = 0; i < d; ++i) {
+      const std::uint32_t target_pos = targets[i];
+      net_.charge_bulk(holder, p_node.members[target_pos],
+                       slice.size() * kWordBits);
+      ShareRec nr;
+      nr.chain = chain_extend(rec.chain, a.level,
+                              static_cast<std::uint16_t>(i + 1));
+      nr.holder_pos = target_pos;
+      nr.ys = std::move(dealt[i].ys);
+      next.push_back(std::move(nr));
+    }
+  }
+  a.recs = std::move(next);
+  a.level += 1;
+  a.node_idx = c_node.parent;
+  a.word_offset = new_offset;
+}
+
+LeafViews ShareFlow::send_down(const ArrayState& a, std::size_t w0,
+                               std::size_t w1) {
+  BA_REQUIRE(a.level >= 2, "sendDown starts at level 2 or above");
+  BA_REQUIRE(w0 >= a.word_offset && w1 > w0, "bad word range");
+  const std::size_t nwords = w1 - w0;
+  const std::size_t s0 = w0 - a.word_offset;
+  const TreeNode& top = tree_.node(a.level, a.node_idx);
+  const std::size_t k1 = tree_.node(1, top.leaf_begin).members.size();
+  LeafViews views(top.leaf_begin, top.leaf_end - top.leaf_begin, k1, nwords);
+
+  struct DownRec {
+    Chain chain;
+    std::uint32_t holder_pos;
+    std::vector<Fp> ys;
+  };
+  // Frontier of (node index at current level, share records). Decoding a
+  // dealing group yields the same value for every sibling receiver, so we
+  // decode once per parent node and replicate to children (charging each
+  // message individually).
+  std::vector<std::pair<std::size_t, std::vector<DownRec>>> frontier;
+  {
+    std::vector<DownRec> start;
+    start.reserve(a.recs.size());
+    for (const ShareRec& rec : a.recs) {
+      BA_REQUIRE(s0 + nwords <= rec.ys.size(), "range beyond stored words");
+      DownRec dr;
+      dr.chain = rec.chain;
+      dr.holder_pos = rec.holder_pos;
+      dr.ys.assign(rec.ys.begin() + s0, rec.ys.begin() + s0 + nwords);
+      start.push_back(std::move(dr));
+    }
+    frontier.emplace_back(a.node_idx, std::move(start));
+  }
+
+  for (std::size_t m = a.level; m >= 2; --m) {
+    const std::size_t d_deal = tree_.uplinks(m - 1).degree();
+    const std::size_t t = params_.privacy_threshold(d_deal);
+    std::vector<std::pair<std::size_t, std::vector<DownRec>>> next;
+    for (auto& [ci, recs] : frontier) {
+      const TreeNode& c_node = tree_.node(m, ci);
+      // The value each holder actually transmits this hop (garbage if the
+      // holder is corrupt and lying) — identical toward every child.
+      std::vector<std::vector<Fp>> sent(recs.size());
+      std::vector<bool> dropped(recs.size(), false);
+      for (std::size_t ri = 0; ri < recs.size(); ++ri) {
+        const ProcId sender = c_node.members[recs[ri].holder_pos];
+        if (silent(sender)) {
+          dropped[ri] = true;
+        } else if (lying(sender)) {
+          sent[ri].resize(nwords);
+          for (auto& y : sent[ri]) y = garbage();
+        } else {
+          sent[ri] = recs[ri].ys;
+        }
+      }
+      // Group by parent chain and decode once.
+      std::unordered_map<Chain, std::vector<VectorShare>> groups;
+      for (std::size_t ri = 0; ri < recs.size(); ++ri) {
+        if (dropped[ri]) continue;
+        VectorShare vs;
+        vs.x = chain_elem(recs[ri].chain, m - 1);
+        vs.ys = sent[ri];
+        groups[chain_parent(recs[ri].chain, m)].push_back(std::move(vs));
+      }
+      std::vector<DownRec> decoded;
+      decoded.reserve(groups.size());
+      for (auto& [pc, shares] : groups) {
+        if (shares.size() < t + 1) continue;  // not enough survived
+        auto value = robust_reconstruct(shares, t);
+        DownRec dr;
+        dr.chain = pc;
+        dr.holder_pos = chain_pos(tree_, pc, m - 1);
+        if (value) {
+          dr.ys = std::move(*value);
+        } else {
+          dr.ys.resize(nwords);  // undecodable: the holder ends up with junk
+          for (auto& y : dr.ys) y = garbage();
+        }
+        decoded.push_back(std::move(dr));
+      }
+      // Charge one message per share per child and hand each child the
+      // decoded records.
+      for (std::size_t child : c_node.children) {
+        const TreeNode& d_node = tree_.node(m - 1, child);
+        for (std::size_t ri = 0; ri < recs.size(); ++ri) {
+          if (dropped[ri]) continue;
+          const ProcId sender = c_node.members[recs[ri].holder_pos];
+          const std::uint32_t rpos =
+              chain_pos(tree_, chain_parent(recs[ri].chain, m), m - 1);
+          net_.charge_bulk(sender, d_node.members[rpos],
+                           nwords * kWordBits);
+        }
+        next.emplace_back(child, decoded);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Leaf exchange: members of each leaf node swap their reconstructed
+  // 1-shares and recover the exposed words.
+  const std::size_t t1 = params_.privacy_threshold(k1);
+  for (auto& [leaf_idx, recs] : frontier) {
+    const TreeNode& leaf = tree_.node(1, leaf_idx);
+    std::vector<VectorShare> shares;
+    shares.reserve(recs.size());
+    for (const auto& rec : recs) {
+      const ProcId sender = leaf.members[rec.holder_pos];
+      if (silent(sender)) continue;
+      VectorShare vs;
+      vs.x = static_cast<std::uint32_t>(chain_elem(rec.chain, 0) + 1);
+      if (lying(sender)) {
+        vs.ys.resize(nwords);
+        for (auto& y : vs.ys) y = garbage();
+      } else {
+        vs.ys = rec.ys;
+      }
+      for (std::size_t pos = 0; pos < leaf.members.size(); ++pos)
+        net_.charge_bulk(sender, leaf.members[pos], nwords * kWordBits);
+      shares.push_back(std::move(vs));
+    }
+    std::vector<Fp> secret;
+    if (shares.size() >= t1 + 1) {
+      if (auto v = robust_reconstruct(shares, t1)) secret = std::move(*v);
+    }
+    const std::size_t rel = leaf_idx - top.leaf_begin;
+    for (std::size_t pos = 0; pos < leaf.members.size(); ++pos) {
+      for (std::size_t w = 0; w < nwords; ++w) {
+        views.set(rel, pos, w,
+                  secret.empty() ? garbage() : secret[w]);
+      }
+    }
+  }
+  return views;
+}
+
+MemberViews ShareFlow::send_open(std::size_t level, std::size_t node_idx,
+                                 const LeafViews& views) {
+  const TreeNode& node = tree_.node(level, node_idx);
+  const std::size_t nwords = views.nwords();
+  MemberViews out(node.members.size(), nwords);
+  std::vector<Fp> node_versions;
+  std::vector<Fp> leaf_values;
+  for (std::size_t pos = 0; pos < node.members.size(); ++pos) {
+    const ProcId receiver = node.members[pos];
+    for (std::size_t w = 0; w < nwords; ++w) {
+      node_versions.clear();
+      for (std::uint32_t leaf_abs : node.ell[pos]) {
+        const TreeNode& leaf = tree_.node(1, leaf_abs);
+        const std::size_t rel = leaf_abs - views.leaf_begin();
+        leaf_values.clear();
+        for (std::size_t i = 0; i < leaf.members.size(); ++i) {
+          const ProcId sender = leaf.members[i];
+          if (silent(sender)) continue;
+          if (w == 0)  // one message carries all words
+            net_.charge_bulk(sender, receiver, nwords * kWordBits);
+          leaf_values.push_back(lying(sender) ? garbage()
+                                              : views.at(rel, i, w));
+        }
+        node_versions.push_back(plurality(leaf_values));
+      }
+      out.set(pos, w, plurality(node_versions));
+    }
+  }
+  return out;
+}
+
+}  // namespace ba

@@ -1,0 +1,138 @@
+// The three communication subroutines of Section 3.2.3, operating on
+// iterated shares routed along the tournament tree:
+//
+//  * sendSecretUp — re-deal every share one level up along the uplinks and
+//    erase it locally (Definition 1 iteration). Corrupt holders may deal
+//    garbage; holders whose election view excluded the array stay silent.
+//  * sendDown    — unwind iterated shares level by level ("down the
+//    uplinks it came from plus the corresponding uplinks from each of its
+//    other children"), Berlekamp–Welch-correcting up to the error budget
+//    at each recombination, until every leaf node in the subtree has
+//    exchanged 1-shares and reconstructed the exposed words.
+//  * sendOpen    — every leaf member reports its reconstruction up the
+//    ell-links; each node member takes a per-word majority within each
+//    linked leaf node, then across its linked leaf nodes.
+//
+// All traffic is charged to the BitLedger via Network::charge_bulk; round
+// costs are advanced by the orchestrator (one network round per tree hop).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/array_state.h"
+#include "core/params.h"
+#include "crypto/berlekamp_welch.h"
+#include "crypto/shamir.h"
+#include "net/network.h"
+#include "tree/tournament_tree.h"
+
+namespace ba {
+
+/// Reconstructions of one exposed word range at every leaf member of a
+/// subtree. Values of members whose reconstruction failed (or who are
+/// corrupt and lying) are garbage — exactly what downstream majorities see.
+class LeafViews {
+ public:
+  LeafViews(std::size_t leaf_begin, std::size_t leaf_count, std::size_t k1,
+            std::size_t nwords)
+      : leaf_begin_(leaf_begin),
+        leaf_count_(leaf_count),
+        k1_(k1),
+        nwords_(nwords),
+        values_(leaf_count * k1 * nwords, Fp(0)) {}
+
+  std::size_t leaf_begin() const { return leaf_begin_; }
+  std::size_t leaf_count() const { return leaf_count_; }
+  std::size_t k1() const { return k1_; }
+  std::size_t nwords() const { return nwords_; }
+
+  Fp at(std::size_t leaf_rel, std::size_t pos, std::size_t w) const {
+    return values_[(leaf_rel * k1_ + pos) * nwords_ + w];
+  }
+  void set(std::size_t leaf_rel, std::size_t pos, std::size_t w, Fp v) {
+    values_[(leaf_rel * k1_ + pos) * nwords_ + w] = v;
+  }
+
+ private:
+  std::size_t leaf_begin_, leaf_count_, k1_, nwords_;
+  std::vector<Fp> values_;
+};
+
+/// Per-member word views after sendOpen: views(pos, w).
+class MemberViews {
+ public:
+  MemberViews(std::size_t members, std::size_t nwords)
+      : nwords_(nwords), values_(members * nwords, Fp(0)) {}
+  Fp at(std::size_t pos, std::size_t w) const {
+    return values_[pos * nwords_ + w];
+  }
+  void set(std::size_t pos, std::size_t w, Fp v) {
+    values_[pos * nwords_ + w] = v;
+  }
+  std::size_t nwords() const { return nwords_; }
+
+ private:
+  std::size_t nwords_;
+  std::vector<Fp> values_;
+};
+
+/// How corrupted processors behave in share flows.
+enum class FaultStyle {
+  lying,   ///< send garbage shares/values (malicious; the default)
+  silent,  ///< send nothing (crash faults)
+  honest,  ///< follow the protocol (corruption used only for spying)
+};
+
+class ShareFlow {
+ public:
+  ShareFlow(const ProtocolParams& params, const TournamentTree& tree,
+            Network& net, Rng rng);
+
+  void set_fault_style(FaultStyle s) { style_ = s; }
+
+  /// Algorithm 2 step 1(a): owner deals 1-shares of its whole array to the
+  /// members of its home leaf. A corrupt owner deals arbitrary
+  /// (inconsistent) shares.
+  std::vector<ShareRec> deal_to_leaf(ProcId owner, std::size_t leaf_idx,
+                                     const std::vector<Fp>& words);
+
+  /// sendSecretUp: re-deal array a's shares from its current node to the
+  /// parent, keeping only words from new_offset on. `holder_forwards(pos)`
+  /// gates good holders (election-view divergence); corrupt holders always
+  /// "forward" but deal garbage when lying. Mutates a (level, node,
+  /// offset, recs).
+  void send_secret_up(ArrayState& a, std::size_t new_offset,
+                      const std::function<bool(std::size_t)>& holder_forwards);
+
+  /// sendDown: expose words [w0, w1) of array a to every leaf member of
+  /// the subtree of a's current node.
+  LeafViews send_down(const ArrayState& a, std::size_t w0, std::size_t w1);
+
+  /// sendOpen: members of node (level, node_idx) learn the exposed words
+  /// from the leaf views via their ell-links.
+  MemberViews send_open(std::size_t level, std::size_t node_idx,
+                        const LeafViews& views);
+
+  /// Network rounds one sendDown + sendOpen from `level` costs: level-1
+  /// hops down, one leaf-exchange round, one ell-link round.
+  static std::size_t exposure_rounds(std::size_t level) { return level + 1; }
+
+ private:
+  Fp garbage() { return Fp(rng_.next()); }
+  bool lying(ProcId p) const {
+    return style_ == FaultStyle::lying && net_.is_corrupt(p);
+  }
+  bool silent(ProcId p) const {
+    return style_ == FaultStyle::silent && net_.is_corrupt(p);
+  }
+
+  const ProtocolParams& params_;
+  const TournamentTree& tree_;
+  Network& net_;
+  Rng rng_;
+  FaultStyle style_ = FaultStyle::lying;
+};
+
+}  // namespace ba

@@ -1,0 +1,80 @@
+#include "core/universe_reduction.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/global_coin.h"
+
+namespace ba {
+
+UniverseReduction::UniverseReduction(const ProtocolParams& params,
+                                     std::size_t committee_size,
+                                     std::uint64_t seed)
+    : params_(params), committee_size_(committee_size), seed_(seed) {
+  BA_REQUIRE(committee_size_ >= 1, "committee cannot be empty");
+}
+
+std::vector<ProcId> UniverseReduction::sample_committee(
+    const std::vector<std::uint64_t>& word_views, std::size_t n,
+    std::size_t size) {
+  std::vector<ProcId> committee;
+  committee.reserve(std::min(size, word_views.size()));
+  for (std::size_t i = 0; i < word_views.size() && committee.size() < size;
+       ++i)
+    committee.push_back(static_cast<ProcId>(word_views[i] % n));
+  return committee;
+}
+
+UniverseResult UniverseReduction::run(Network& net, Adversary& adversary) {
+  const std::size_t n = params_.tree.n;
+  AlmostEverywhereBA ae(params_, seed_);
+  BA_REQUIRE(committee_size_ <= ae.layout().seq_words(),
+             "committee larger than the released sequence; raise "
+             "params.coin_words");
+
+  UniverseResult result;
+  // Inputs are irrelevant for sampling; run with zeros.
+  result.ae = ae.run(net, adversary, std::vector<std::uint8_t>(n, 0),
+                     /*release_sequence=*/true);
+
+  // Plurality committee (the reference every good processor should match).
+  std::vector<std::uint64_t> plural(result.ae.seq_views.size());
+  for (std::size_t i = 0; i < plural.size(); ++i)
+    plural[i] = sequence_plurality(result.ae, i, net.corrupt_mask());
+  result.committee = sample_committee(plural, n, committee_size_);
+
+  // Per-slot agreement: fraction of good processors deriving the
+  // plurality slot, averaged over slots.
+  double slot_agree_sum = 0.0;
+  for (std::size_t i = 0; i < result.committee.size(); ++i) {
+    std::size_t good = 0, agree = 0;
+    for (ProcId p = 0; p < n; ++p) {
+      if (net.is_corrupt(p)) continue;
+      ++good;
+      if (static_cast<ProcId>(result.ae.seq_views[i][p] % n) ==
+          result.committee[i])
+        ++agree;
+    }
+    slot_agree_sum +=
+        good == 0 ? 1.0
+                  : static_cast<double>(agree) / static_cast<double>(good);
+  }
+  result.view_agreement =
+      result.committee.empty()
+          ? 1.0
+          : slot_agree_sum / static_cast<double>(result.committee.size());
+
+  std::size_t committee_good = 0;
+  for (ProcId p : result.committee)
+    committee_good += net.is_corrupt(p) ? 0 : 1;
+  result.good_fraction_at_sampling =
+      result.committee.empty()
+          ? 0.0
+          : static_cast<double>(committee_good) /
+                static_cast<double>(result.committee.size());
+  result.population_good_fraction =
+      static_cast<double>(n - net.corrupt_count()) / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace ba

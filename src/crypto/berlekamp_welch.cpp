@@ -1,0 +1,171 @@
+#include "crypto/berlekamp_welch.h"
+
+namespace ba {
+
+std::optional<std::vector<Fp>> solve_linear(std::vector<std::vector<Fp>> a,
+                                            std::vector<Fp> b) {
+  const std::size_t rows = a.size();
+  BA_REQUIRE(b.size() == rows, "rhs size must match row count");
+  const std::size_t cols = rows == 0 ? 0 : a[0].size();
+
+  std::vector<std::size_t> pivot_col_of_row;
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < cols && row < rows; ++col) {
+    // Find a pivot in this column.
+    std::size_t pr = row;
+    while (pr < rows && a[pr][col].is_zero()) ++pr;
+    if (pr == rows) continue;
+    std::swap(a[pr], a[row]);
+    std::swap(b[pr], b[row]);
+    const Fp inv = a[row][col].inverse();
+    for (std::size_t c = col; c < cols; ++c) a[row][c] *= inv;
+    b[row] *= inv;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == row || a[r][col].is_zero()) continue;
+      const Fp f = a[r][col];
+      for (std::size_t c = col; c < cols; ++c) a[r][c] -= f * a[row][c];
+      b[r] -= f * b[row];
+    }
+    pivot_col_of_row.push_back(col);
+    ++row;
+  }
+  // Inconsistency: a zero row with non-zero rhs.
+  for (std::size_t r = row; r < rows; ++r)
+    if (!b[r].is_zero()) return std::nullopt;
+
+  std::vector<Fp> z(cols, Fp(0));
+  for (std::size_t r = 0; r < pivot_col_of_row.size(); ++r)
+    z[pivot_col_of_row[r]] = b[r];
+  return z;
+}
+
+namespace {
+
+/// Divide polynomial num by den (coefficients constant-term first).
+/// Returns quotient iff the division is exact.
+std::optional<std::vector<Fp>> poly_divide_exact(std::vector<Fp> num,
+                                                 const std::vector<Fp>& den) {
+  // Trim leading zeros of den.
+  std::size_t dd = den.size();
+  while (dd > 0 && den[dd - 1].is_zero()) --dd;
+  if (dd == 0) return std::nullopt;  // division by zero polynomial
+  if (num.size() < dd) {
+    // num must be the zero polynomial for exactness.
+    for (const Fp& c : num)
+      if (!c.is_zero()) return std::nullopt;
+    return std::vector<Fp>{Fp(0)};
+  }
+  const Fp lead_inv = den[dd - 1].inverse();
+  std::vector<Fp> quot(num.size() - dd + 1, Fp(0));
+  for (std::size_t qi = quot.size(); qi-- > 0;) {
+    const Fp coef = num[qi + dd - 1] * lead_inv;
+    quot[qi] = coef;
+    if (coef.is_zero()) continue;
+    for (std::size_t j = 0; j < dd; ++j) num[qi + j] -= coef * den[j];
+  }
+  for (const Fp& c : num)
+    if (!c.is_zero()) return std::nullopt;  // non-zero remainder
+  return quot;
+}
+
+}  // namespace
+
+std::optional<std::vector<Fp>> berlekamp_welch(const std::vector<Fp>& xs,
+                                               const std::vector<Fp>& ys,
+                                               std::size_t degree,
+                                               std::size_t max_errors) {
+  const std::size_t m = xs.size();
+  BA_REQUIRE(ys.size() == m, "point vectors must pair up");
+  BA_REQUIRE(m >= degree + 1 + 2 * max_errors,
+             "not enough points for this error budget");
+  if (max_errors == 0) {
+    // Interpolate directly and verify all points agree.
+    std::vector<Fp> pxs(xs.begin(), xs.begin() + degree + 1);
+    std::vector<Fp> pys(ys.begin(), ys.begin() + degree + 1);
+    // Build coefficients by solving the Vandermonde system.
+    std::vector<std::vector<Fp>> a(degree + 1,
+                                   std::vector<Fp>(degree + 1, Fp(0)));
+    for (std::size_t r = 0; r <= degree; ++r) {
+      Fp pw(1);
+      for (std::size_t c = 0; c <= degree; ++c) {
+        a[r][c] = pw;
+        pw *= pxs[r];
+      }
+    }
+    auto sol = solve_linear(std::move(a), pys);
+    if (!sol) return std::nullopt;
+    for (std::size_t i = 0; i < m; ++i)
+      if (poly_eval(*sol, xs[i]) != ys[i]) return std::nullopt;
+    return sol;
+  }
+
+  // Unknowns: Q (degree <= degree + max_errors, so degree+max_errors+1
+  // coefficients) and E (monic, degree exactly max_errors, so max_errors
+  // free coefficients). Equation per point: Q(x_i) - y_i * E(x_i) = 0,
+  // with the monic term moved to the rhs:
+  //   sum_j Q_j x^j - y_i sum_{j<e} E_j x^j = y_i x^e.
+  const std::size_t qn = degree + max_errors + 1;
+  const std::size_t en = max_errors;
+  std::vector<std::vector<Fp>> a(m, std::vector<Fp>(qn + en, Fp(0)));
+  std::vector<Fp> b(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    Fp pw(1);
+    for (std::size_t j = 0; j < qn; ++j) {
+      a[i][j] = pw;
+      pw *= xs[i];
+    }
+    pw = Fp(1);
+    for (std::size_t j = 0; j < en; ++j) {
+      a[i][qn + j] = Fp(0) - ys[i] * pw;
+      pw *= xs[i];
+    }
+    // pw is now x^e.
+    b[i] = ys[i] * pw;
+  }
+  auto sol = solve_linear(std::move(a), std::move(b));
+  if (!sol) return std::nullopt;
+  std::vector<Fp> q(sol->begin(), sol->begin() + qn);
+  std::vector<Fp> e(sol->begin() + qn, sol->end());
+  e.push_back(Fp(1));  // monic x^max_errors term
+  auto p = poly_divide_exact(std::move(q), e);
+  if (!p) return std::nullopt;
+  if (p->size() > degree + 1) {
+    for (std::size_t j = degree + 1; j < p->size(); ++j)
+      if (!(*p)[j].is_zero()) return std::nullopt;
+    p->resize(degree + 1);
+  }
+  // Final verification: at most max_errors disagreements.
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < m; ++i)
+    if (poly_eval(*p, xs[i]) != ys[i]) ++errors;
+  if (errors > max_errors) return std::nullopt;
+  return p;
+}
+
+std::optional<std::vector<Fp>> robust_reconstruct(
+    const std::vector<VectorShare>& shares, std::size_t privacy_threshold) {
+  BA_REQUIRE(!shares.empty(), "no shares");
+  const std::size_t m = shares.size();
+  const std::size_t t = privacy_threshold;
+  if (m < t + 1) return std::nullopt;
+  const std::size_t max_errors = (m - t - 1) / 2;
+  const std::size_t words = shares.front().ys.size();
+  std::vector<Fp> xs(m), ys(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    BA_REQUIRE(shares[i].ys.size() == words, "ragged share vectors");
+    xs[i] = Fp(shares[i].x);
+  }
+  std::vector<Fp> secret(words);
+  for (std::size_t w = 0; w < words; ++w) {
+    for (std::size_t i = 0; i < m; ++i) ys[i] = shares[i].ys[w];
+    // Fast path: no errors (the common, honest case) — interpolate and
+    // verify; fall back to the full decoder only on inconsistency.
+    auto p = berlekamp_welch(xs, ys, t, 0);
+    if (!p && max_errors > 0) p = berlekamp_welch(xs, ys, t, max_errors);
+    if (!p) return std::nullopt;
+    secret[w] = (*p)[0];
+  }
+  return secret;
+}
+
+}  // namespace ba

@@ -1,0 +1,41 @@
+// Berlekamp–Welch robust decoding over GF(2^61 - 1).
+//
+// The paper's scheme is non-verifiable: wrong shares injected by corrupted
+// processors make a plain Lagrange reconstruction wrong, and the protocol
+// compensates with node-level majorities (sendOpen, Section 3.2.3). This
+// decoder is the library's *extension* (Conclusion: "can the techniques be
+// made practical?"): with m shares of a degree-t polynomial it corrects up
+// to (m - t - 1) / 2 arbitrary share corruptions, which the E12 ablation
+// bench compares against majority-only recovery.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/field.h"
+#include "crypto/shamir.h"
+
+namespace ba {
+
+/// Solve A z = b over GF(p) by Gaussian elimination. A is row-major
+/// rows x cols; returns any solution (free variables set to zero) or
+/// nullopt if inconsistent.
+std::optional<std::vector<Fp>> solve_linear(std::vector<std::vector<Fp>> a,
+                                            std::vector<Fp> b);
+
+/// Decode the unique polynomial of degree <= degree passing through all but
+/// at most `max_errors` of the points (xs[i], ys[i]). Returns coefficients
+/// (constant term first) or nullopt when decoding fails (too many errors).
+/// Requires xs distinct and xs.size() >= degree + 1 + 2 * max_errors.
+std::optional<std::vector<Fp>> berlekamp_welch(const std::vector<Fp>& xs,
+                                               const std::vector<Fp>& ys,
+                                               std::size_t degree,
+                                               std::size_t max_errors);
+
+/// Robust word-vector reconstruction: per word, run Berlekamp–Welch with
+/// the largest error budget the share count allows. Returns nullopt if any
+/// word fails to decode.
+std::optional<std::vector<Fp>> robust_reconstruct(
+    const std::vector<VectorShare>& shares, std::size_t privacy_threshold);
+
+}  // namespace ba

@@ -1,0 +1,51 @@
+#include "crypto/shamir.h"
+
+namespace ba {
+
+ShamirScheme::ShamirScheme(std::size_t num_shares,
+                           std::size_t privacy_threshold)
+    : n_(num_shares), t_(privacy_threshold) {
+  BA_REQUIRE(n_ >= 1, "need at least one share");
+  BA_REQUIRE(t_ + 1 <= n_, "reconstruction must be possible from all shares");
+  BA_REQUIRE(n_ < Fp::kP, "evaluation points must be distinct field elements");
+}
+
+std::vector<VectorShare> ShamirScheme::deal(const std::vector<Fp>& secret,
+                                            Rng& rng) const {
+  std::vector<VectorShare> shares(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    shares[i].x = static_cast<std::uint32_t>(i + 1);
+    shares[i].ys.resize(secret.size());
+  }
+  std::vector<Fp> coeffs(t_ + 1);
+  for (std::size_t w = 0; w < secret.size(); ++w) {
+    coeffs[0] = secret[w];
+    for (std::size_t j = 1; j <= t_; ++j) coeffs[j] = Fp(rng.next());
+    for (std::size_t i = 0; i < n_; ++i)
+      shares[i].ys[w] = poly_eval(coeffs, Fp(shares[i].x));
+  }
+  return shares;
+}
+
+std::vector<Fp> ShamirScheme::reconstruct(
+    const std::vector<VectorShare>& shares) const {
+  BA_REQUIRE(shares.size() >= shares_needed(),
+             "not enough shares to reconstruct");
+  const std::size_t m = shares_needed();
+  const std::size_t words = shares.front().ys.size();
+  std::vector<Fp> xs(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    BA_REQUIRE(shares[i].x != 0, "share evaluation point must be non-zero");
+    BA_REQUIRE(shares[i].ys.size() == words, "ragged share vectors");
+    xs[i] = Fp(shares[i].x);
+  }
+  std::vector<Fp> secret(words);
+  std::vector<Fp> ys(m);
+  for (std::size_t w = 0; w < words; ++w) {
+    for (std::size_t i = 0; i < m; ++i) ys[i] = shares[i].ys[w];
+    secret[w] = lagrange_at_zero(xs, ys);
+  }
+  return secret;
+}
+
+}  // namespace ba

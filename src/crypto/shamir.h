@@ -1,0 +1,61 @@
+// (n, t+1) threshold secret sharing (Shamir) over GF(2^61 - 1).
+//
+// Instantiates the scheme assumed in Section 3.1 of the paper: each of n
+// players holds a share whose size is proportional to the message, any t+1
+// shares reconstruct, and any t or fewer shares are consistent with every
+// possible message (information-theoretic hiding). The paper uses
+// t = n/2 throughout ("any t in [n/3, 2n/3] would work").
+//
+// Secrets are vectors of field words; one polynomial per word, all
+// evaluated at the same points x = 1..n, so a share is (x, ys[]) with
+// |ys| = |secret|.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/field.h"
+#include "common/rng.h"
+
+namespace ba {
+
+/// One party's share of a word-vector secret.
+struct VectorShare {
+  std::uint32_t x = 0;      ///< evaluation point (1-based, non-zero)
+  std::vector<Fp> ys;       ///< one field element per secret word
+
+  /// Wire size in bits (x is public positional metadata; the paper counts
+  /// share payloads at one word per secret word).
+  std::size_t content_bits() const { return ys.size() * kWordBits; }
+};
+
+class ShamirScheme {
+ public:
+  /// `num_shares` parties; any `privacy_threshold` shares reveal nothing;
+  /// `privacy_threshold + 1` shares reconstruct.
+  /// Requires 0 < privacy_threshold + 1 <= num_shares.
+  ShamirScheme(std::size_t num_shares, std::size_t privacy_threshold);
+
+  std::size_t num_shares() const { return n_; }
+  std::size_t privacy_threshold() const { return t_; }
+  std::size_t shares_needed() const { return t_ + 1; }
+
+  /// Deal shares of `secret` (one polynomial of degree t per word).
+  std::vector<VectorShare> deal(const std::vector<Fp>& secret, Rng& rng) const;
+
+  /// Reconstruct from exactly shares_needed() of the dealt shares (any
+  /// subset with distinct x). Extra shares are ignored (the first t+1 by
+  /// position are used); for error tolerance use robust_reconstruct().
+  std::vector<Fp> reconstruct(const std::vector<VectorShare>& shares) const;
+
+  /// Paper default: privacy threshold n/2 (Section 3.1).
+  static ShamirScheme half_threshold(std::size_t num_shares) {
+    return ShamirScheme(num_shares, num_shares / 2);
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t t_;
+};
+
+}  // namespace ba

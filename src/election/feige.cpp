@@ -1,0 +1,46 @@
+#include "election/feige.h"
+
+#include <algorithm>
+
+namespace ba {
+
+std::vector<std::uint32_t> lightest_bin_winners(
+    const std::vector<std::uint32_t>& bins, const ElectionParams& params) {
+  BA_REQUIRE(bins.size() == params.num_candidates,
+             "one bin choice per candidate required");
+  BA_REQUIRE(params.num_winners <= params.num_candidates,
+             "cannot elect more winners than candidates");
+  const std::size_t nbins = params.num_bins();
+
+  std::vector<std::size_t> load(nbins, 0);
+  for (auto b : bins) ++load[b % nbins];
+
+  // Lightest *non-empty* bin, lowest id on ties. (An empty bin has no
+  // candidates to elect; the paper's augmentation rule below would then do
+  // all the work, which would let the adversary pick winners.)
+  std::size_t best = nbins;
+  for (std::size_t b = 0; b < nbins; ++b) {
+    if (load[b] == 0) continue;
+    if (best == nbins || load[b] < load[best]) best = b;
+  }
+  BA_ENSURE(best < nbins, "at least one bin must be non-empty");
+
+  std::vector<std::uint32_t> winners;
+  winners.reserve(params.num_winners);
+  for (std::uint32_t i = 0; i < bins.size(); ++i)
+    if (bins[i] % nbins == best) winners.push_back(i);
+
+  if (winners.size() > params.num_winners) {
+    winners.resize(params.num_winners);  // lowest indices kept
+  } else if (winners.size() < params.num_winners) {
+    // Augment with "the first indices that would otherwise be omitted".
+    for (std::uint32_t i = 0;
+         i < bins.size() && winners.size() < params.num_winners; ++i) {
+      if (bins[i] % nbins != best) winners.push_back(i);
+    }
+    std::sort(winners.begin(), winners.end());
+  }
+  return winners;
+}
+
+}  // namespace ba

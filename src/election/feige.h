@@ -1,0 +1,59 @@
+// Feige's lightest-bin selection protocol, adapted as in Section 3.3
+// (Definition 4 + Algorithm 1 step 2).
+//
+// r candidates each commit to a random bin choice; once the bin choices
+// are agreed (via AEBA — that part lives in src/aeba), the candidates who
+// chose the *lightest* bin win. Lemma 4: if the set S of honestly random
+// bin choices has |S| > 2r/3, then even an adversary that picks the other
+// choices after seeing S leaves a winner set with at least a
+// |S|/r - 1/log n fraction of good winners, w.h.p.
+//
+// Paper parameters: numBins = r / (5c log^3 n) and w = 5c log^3 n; at
+// laptop scale we keep the defining relation numBins = r / w (expected
+// lightest-bin load <= w) — see DESIGN.md §6.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ba {
+
+struct ElectionParams {
+  std::size_t num_candidates = 0;  ///< r
+  std::size_t num_winners = 0;     ///< w = r / numBins
+
+  std::size_t num_bins() const {
+    BA_REQUIRE(num_candidates > 0 && num_winners > 0, "election unset");
+    std::size_t bins = num_candidates / num_winners;
+    return bins < 2 ? 2 : bins;
+  }
+
+  /// Bits in one bin choice = ceil(log2(numBins)); this is the number of
+  /// parallel AEBA bit-instances needed per candidate.
+  std::size_t bits_per_bin() const {
+    std::size_t bins = num_bins();
+    std::size_t bits = 0;
+    while ((std::size_t{1} << bits) < bins) ++bits;
+    return bits == 0 ? 1 : bits;
+  }
+};
+
+/// Map a random array word to a bin choice (Definition 4: the block's
+/// initial word, reduced to the bin range).
+inline std::uint32_t bin_choice_from_word(std::uint64_t word,
+                                          std::size_t num_bins) {
+  return static_cast<std::uint32_t>(word % num_bins);
+}
+
+/// Algorithm 1 step 2: winners are the candidates whose (agreed) bin
+/// choice lands in the lightest non-empty bin (ties broken toward the
+/// lower bin id). The set is padded with the lowest-index losers /
+/// truncated to exactly num_winners, per the paper's augmentation rule.
+/// `bins[i]` is candidate i's agreed bin choice; values are taken mod
+/// numBins so Byzantine (out-of-range) choices still land in a bin.
+std::vector<std::uint32_t> lightest_bin_winners(
+    const std::vector<std::uint32_t>& bins, const ElectionParams& params);
+
+}  // namespace ba

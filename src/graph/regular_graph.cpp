@@ -1,0 +1,52 @@
+#include "graph/regular_graph.h"
+
+#include <algorithm>
+
+namespace ba {
+
+RegularGraph RegularGraph::random(std::size_t n, std::size_t out_degree,
+                                  Rng& rng) {
+  BA_REQUIRE(n >= 2, "graph needs at least two vertices");
+  BA_REQUIRE(out_degree >= 1 && out_degree < n,
+             "degree must be in [1, n-1]");
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    // Pick out_degree distinct partners != v.
+    auto picks = rng.sample_without_replacement(n - 1, out_degree);
+    for (auto p : picks) {
+      std::size_t u = (p >= v) ? p + 1 : p;  // skip self
+      adj[v].push_back(static_cast<std::uint32_t>(u));
+      adj[u].push_back(static_cast<std::uint32_t>(v));
+    }
+  }
+  for (auto& nb : adj) {
+    std::sort(nb.begin(), nb.end());
+    nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+  }
+  return RegularGraph(std::move(adj));
+}
+
+RegularGraph RegularGraph::complete(std::size_t n) {
+  BA_REQUIRE(n >= 2, "graph needs at least two vertices");
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    adj[v].reserve(n - 1);
+    for (std::size_t u = 0; u < n; ++u)
+      if (u != v) adj[v].push_back(static_cast<std::uint32_t>(u));
+  }
+  return RegularGraph(std::move(adj));
+}
+
+double RegularGraph::average_degree() const {
+  std::size_t total = 0;
+  for (const auto& nb : adj_) total += nb.size();
+  return static_cast<double>(total) / static_cast<double>(adj_.size());
+}
+
+std::size_t RegularGraph::min_degree() const {
+  std::size_t best = adj_.empty() ? 0 : adj_[0].size();
+  for (const auto& nb : adj_) best = std::min(best, nb.size());
+  return best;
+}
+
+}  // namespace ba

@@ -1,0 +1,42 @@
+// Sparse communication graphs for Algorithm 5 (AEBA with unreliable
+// coins). Theorem 5 requires G to be a random k·log n-regular graph; the
+// concentration argument of Lemma 11 analyses the out-degree model where
+// "each vertex has k log n edges with endpoint selected uniformly at
+// random". We generate exactly that model and symmetrise (votes flow both
+// ways on an edge), which matches the proof's sampling-with-replacement
+// bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ba {
+
+class RegularGraph {
+ public:
+  /// Random graph where each vertex picks `out_degree` distinct partners
+  /// uniformly; adjacency is the symmetrised union (average degree about
+  /// 2 * out_degree). Requires out_degree < n.
+  static RegularGraph random(std::size_t n, std::size_t out_degree, Rng& rng);
+
+  /// Complete graph (used by quadratic baselines).
+  static RegularGraph complete(std::size_t n);
+
+  std::size_t size() const { return adj_.size(); }
+  const std::vector<std::uint32_t>& neighbors(std::size_t v) const {
+    BA_REQUIRE(v < adj_.size(), "vertex out of range");
+    return adj_[v];
+  }
+
+  double average_degree() const;
+  std::size_t min_degree() const;
+
+ private:
+  explicit RegularGraph(std::vector<std::vector<std::uint32_t>> adj)
+      : adj_(std::move(adj)) {}
+  std::vector<std::vector<std::uint32_t>> adj_;
+};
+
+}  // namespace ba

@@ -1,0 +1,46 @@
+#include "metrics/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ba {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0;
+  for (double x : xs) {
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    sum += x;
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(var / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+Summary sweep(std::size_t trials, std::uint64_t seed0,
+              const std::function<double(std::uint64_t)>& trial) {
+  std::vector<double> xs;
+  xs.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i)
+    xs.push_back(trial(seed0 + i));
+  return summarize(xs);
+}
+
+std::string scaling_note(double measured, double reference) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "measured exponent %.2f (reference %.2f)",
+                measured, reference);
+  return buf;
+}
+
+}  // namespace ba

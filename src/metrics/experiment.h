@@ -1,0 +1,33 @@
+// Seed-sweep experiment helpers shared by the bench harnesses: summary
+// statistics and the scaffolding to run a protocol under several seeds
+// and aggregate the paper-relevant metrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+
+namespace ba {
+
+struct Summary {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+/// Run `trial(seed)` for seeds [seed0, seed0 + trials) and summarize the
+/// returned metric.
+Summary sweep(std::size_t trials, std::uint64_t seed0,
+              const std::function<double(std::uint64_t)>& trial);
+
+/// Pretty scaling label: measured exponent of y ~ x^b plus the reference.
+std::string scaling_note(double measured, double reference);
+
+}  // namespace ba

@@ -1,0 +1,4 @@
+#include "net/adversary.h"
+
+// Interface-only translation unit: keeps the vtable anchored in one place.
+namespace ba {}

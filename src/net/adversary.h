@@ -1,0 +1,61 @@
+// Adversary interface for all protocol drivers.
+//
+// The paper's adversary is adaptive (corrupts anyone, any time, up to a
+// (1/3 - eps) fraction), rushing (moves after seeing good traffic each
+// round), malicious (arbitrary deviation, collusion, flooding) and chooses
+// every processor's input bit. Protocol drivers expose exactly these powers
+// through the hooks below; concrete strategies live in src/adversary.
+//
+// Protocol-specific adversaries additionally implement the *View
+// interfaces defined by each protocol (e.g. aeba::VoteView); drivers probe
+// for them with dynamic_cast so one strategy object can attack several
+// protocols.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+
+namespace ba {
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Chance to choose the initial corrupt set and inspect parameters.
+  /// Called once before round 0. Default: corrupt nobody.
+  virtual void on_start(Network& net) { (void)net; }
+
+  /// The rushing step: called each round after all good processors have
+  /// queued their messages and before delivery. The adversary may read
+  /// net.pending_visible_to_adversary(), call net.corrupt(), and
+  /// net.send() from corrupted processors. Default: do nothing.
+  virtual void on_rush(Network& net, std::uint64_t round) {
+    (void)net;
+    (void)round;
+  }
+
+  /// Human-readable strategy name for experiment tables.
+  virtual const char* name() const { return "passive"; }
+};
+
+/// Corrupts a fixed, uniformly random set of processors at start and then
+/// stays silent. The weakest adversary; used as a control in experiments.
+class PassiveStaticAdversary : public Adversary {
+ public:
+  /// Corrupt exactly `count` processors chosen by ids.front()..; the caller
+  /// supplies the id set so selection randomness stays with the experiment.
+  explicit PassiveStaticAdversary(std::vector<ProcId> ids)
+      : ids_(std::move(ids)) {}
+
+  void on_start(Network& net) override {
+    for (ProcId p : ids_) net.corrupt(p);
+  }
+  const char* name() const override { return "passive-static"; }
+
+ private:
+  std::vector<ProcId> ids_;
+};
+
+}  // namespace ba

@@ -1,0 +1,78 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ba {
+
+Network::Network(std::size_t n, std::size_t max_corrupt)
+    : n_(n),
+      max_corrupt_(max_corrupt),
+      corrupt_(n, false),
+      inboxes_(n),
+      ledger_(n) {
+  BA_REQUIRE(n > 0, "network needs at least one processor");
+  BA_REQUIRE(max_corrupt < n, "adversary cannot own every processor");
+}
+
+void Network::corrupt(ProcId p) {
+  BA_REQUIRE(p < n_, "processor id out of range");
+  if (corrupt_[p]) return;
+  BA_REQUIRE(corrupt_count_ < max_corrupt_,
+             "adaptive corruption budget exhausted");
+  corrupt_[p] = true;
+  ++corrupt_count_;
+}
+
+void Network::send(ProcId from, ProcId to, Payload payload) {
+  BA_REQUIRE(from < n_ && to < n_, "processor id out of range");
+  ledger_.charge_send(from, payload.bits());
+  Envelope e;
+  e.from = from;
+  e.to = to;
+  e.round = round_;
+  e.payload = std::move(payload);
+  pending_.push_back(std::move(e));
+}
+
+void Network::charge_bulk(ProcId from, ProcId to, std::size_t content_bits) {
+  BA_REQUIRE(from < n_ && to < n_, "processor id out of range");
+  ledger_.charge_send(from, content_bits + kHeaderBits);
+  ledger_.charge_recv(to, content_bits + kHeaderBits);
+}
+
+void Network::advance_round() {
+  for (auto& box : inboxes_) box.clear();
+  for (auto& e : pending_) {
+    ledger_.charge_recv(e.to, e.payload.bits());
+    inboxes_[e.to].push_back(std::move(e));
+  }
+  pending_.clear();
+  // Deterministic per-inbox order (by sender id) so runs are reproducible;
+  // protocols that care about adversarial ordering sort/select themselves.
+  for (auto& box : inboxes_) {
+    std::stable_sort(box.begin(), box.end(),
+                     [](const Envelope& a, const Envelope& b) {
+                       return a.from < b.from;
+                     });
+  }
+  ++round_;
+}
+
+std::vector<const Envelope*> Network::pending_visible_to_adversary() const {
+  std::vector<const Envelope*> out;
+  for (const auto& e : pending_)
+    if (corrupt_[e.from] || corrupt_[e.to]) out.push_back(&e);
+  return out;
+}
+
+std::vector<ProcId> Network::good_procs() const {
+  std::vector<ProcId> out;
+  out.reserve(n_ - corrupt_count_);
+  for (ProcId p = 0; p < n_; ++p)
+    if (!corrupt_[p]) out.push_back(p);
+  return out;
+}
+
+}  // namespace ba

@@ -1,0 +1,88 @@
+// Synchronous point-to-point network with private channels and an
+// adaptive-corruption model (Section 1.1 of the paper).
+//
+// Semantics reproduced from the paper's model:
+//  * Fully connected: any processor may send to any other; the recipient
+//    learns the true sender identity (no spoofing).
+//  * Private channels: only the endpoints see a message's content. The
+//    adversary may inspect exactly those envelopes that touch a corrupted
+//    endpoint (`pending_visible_to_adversary`).
+//  * Synchrony: messages sent in round r are delivered at the start of
+//    round r+1 (after `advance_round`).
+//  * Rushing: protocol drivers make good processors send first each round,
+//    then invoke the adversary, which may read its visible pending traffic
+//    and inject messages from corrupted processors in the *same* round.
+//  * Adaptive takeover: `corrupt(p)` may be called at any time, up to the
+//    budget fixed at construction; protocol state handover to the adversary
+//    is the protocol driver's job (see Adversary::on_corrupt hooks).
+//  * Flooding: corrupted processors may send unboundedly; receivers can
+//    bound processing with inbox caps at the protocol layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.h"
+#include "net/stats.h"
+
+namespace ba {
+
+class Network {
+ public:
+  /// n processors, at most `max_corrupt` of which may ever be corrupted.
+  Network(std::size_t n, std::size_t max_corrupt);
+
+  std::size_t size() const { return n_; }
+  std::uint64_t round() const { return round_; }
+
+  bool is_corrupt(ProcId p) const { return corrupt_[p]; }
+  const std::vector<bool>& corrupt_mask() const { return corrupt_; }
+  std::size_t corrupt_count() const { return corrupt_count_; }
+  std::size_t corruption_budget_left() const {
+    return max_corrupt_ - corrupt_count_;
+  }
+
+  /// Adaptively corrupt processor p. No-op if already corrupt.
+  /// Fails (throws) if the budget is exhausted: the model caps the
+  /// adversary at a (1/3 - eps) fraction.
+  void corrupt(ProcId p);
+
+  /// Queue a message for delivery at the start of the next round.
+  void send(ProcId from, ProcId to, Payload payload);
+
+  /// Accounting-only send for bulk data flows whose receiver-side effect
+  /// the protocol driver computes directly (share movement, sendOpen,
+  /// query floods): charges the ledger exactly like send() — content bits
+  /// plus the per-message header — but materialises no envelope. Keeps
+  /// multi-million-message flows at O(1) memory without losing a bit of
+  /// the paper's cost measure.
+  void charge_bulk(ProcId from, ProcId to, std::size_t content_bits);
+
+  /// Deliver all pending traffic and begin the next round.
+  void advance_round();
+
+  /// Messages delivered to p this round (sent during the previous round).
+  const std::vector<Envelope>& inbox(ProcId p) const { return inboxes_[p]; }
+
+  /// Pending (not yet delivered) envelopes with a corrupted endpoint.
+  /// This is everything the rushing adversary is allowed to read mid-round.
+  std::vector<const Envelope*> pending_visible_to_adversary() const;
+
+  BitLedger& ledger() { return ledger_; }
+  const BitLedger& ledger() const { return ledger_; }
+
+  /// All processor ids with is_corrupt(p) == false.
+  std::vector<ProcId> good_procs() const;
+
+ private:
+  std::size_t n_;
+  std::size_t max_corrupt_;
+  std::size_t corrupt_count_ = 0;
+  std::uint64_t round_ = 0;
+  std::vector<bool> corrupt_;
+  std::vector<Envelope> pending_;
+  std::vector<std::vector<Envelope>> inboxes_;
+  BitLedger ledger_;
+};
+
+}  // namespace ba

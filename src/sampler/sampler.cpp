@@ -1,0 +1,48 @@
+#include "sampler/sampler.h"
+
+namespace ba {
+
+Sampler::Sampler(std::size_t r, std::size_t s, std::size_t d, bool distinct,
+                 Rng& rng)
+    : r_(r), s_(s), d_(d) {
+  BA_REQUIRE(r > 0 && s > 0 && d > 0, "sampler dimensions must be positive");
+  BA_REQUIRE(!distinct || d <= s, "cannot pick d distinct of fewer than d");
+  sets_.resize(r_);
+  for (std::size_t x = 0; x < r_; ++x) {
+    auto& set = sets_[x];
+    if (distinct) {
+      auto sample = rng.sample_without_replacement(s_, d_);
+      set.assign(sample.begin(), sample.end());
+    } else {
+      set.resize(d_);
+      for (auto& v : set) v = static_cast<std::uint32_t>(rng.below(s_));
+    }
+  }
+}
+
+std::size_t Sampler::range_degree(std::size_t y) const {
+  BA_REQUIRE(y < s_, "range element out of range");
+  std::size_t deg = 0;
+  for (const auto& set : sets_)
+    for (auto v : set)
+      if (v == y) ++deg;
+  return deg;
+}
+
+double Sampler::bad_fraction(const std::vector<bool>& in_s,
+                             double theta) const {
+  BA_REQUIRE(in_s.size() == s_, "mask must cover the range");
+  std::size_t s_size = 0;
+  for (bool b : in_s) s_size += b ? 1 : 0;
+  const double target =
+      static_cast<double>(s_size) / static_cast<double>(s_) + theta;
+  std::size_t bad = 0;
+  for (const auto& set : sets_) {
+    std::size_t hit = 0;
+    for (auto v : set) hit += in_s[v] ? 1 : 0;
+    if (static_cast<double>(hit) / static_cast<double>(d_) > target) ++bad;
+  }
+  return static_cast<double>(bad) / static_cast<double>(r_);
+}
+
+}  // namespace ba

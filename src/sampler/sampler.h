@@ -1,0 +1,59 @@
+// Averaging (oblivious) samplers — Definition 2 / Lemma 2 of the paper.
+//
+// H : [r] -> [s]^d assigns to every input x a multiset of d elements of
+// [s]; H is a (theta, delta) sampler if for every subset S of [s], at most
+// a delta fraction of inputs x over-sample S by more than theta:
+//     |H(x) ∩ S| / d  >  |S|/s + theta.
+//
+// Lemma 2 establishes existence via the probabilistic method: uniformly
+// random multisets form a sampler w.h.p. The paper assumes nonuniform
+// advice or exponential-time search for an explicit object; we substitute
+// the probabilistic construction itself, drawn from a seeded PRG (see
+// DESIGN.md §2), and expose `bad_fraction` so tests verify the property
+// empirically on random subsets.
+//
+// The network construction (Section 3.2.2) uses samplers three ways:
+// node membership, uplinks, and ell-links; `distinct = true` produces
+// d distinct elements (needed for membership/uplinks where a multiset
+// would waste budget), which only sharpens the sampling property.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ba {
+
+class Sampler {
+ public:
+  /// Build H : [r] -> [s]^d from `rng`. If `distinct`, each H(x) consists
+  /// of d distinct elements (requires d <= s).
+  Sampler(std::size_t r, std::size_t s, std::size_t d, bool distinct,
+          Rng& rng);
+
+  std::size_t domain_size() const { return r_; }
+  std::size_t range_size() const { return s_; }
+  std::size_t degree() const { return d_; }
+
+  /// H(x): the multiset assigned to input x (size d).
+  const std::vector<std::uint32_t>& at(std::size_t x) const {
+    BA_REQUIRE(x < r_, "sampler input out of range");
+    return sets_[x];
+  }
+
+  /// deg(y) = number of inputs whose multiset contains y (with
+  /// multiplicity); Lemma 2 bounds this by O((r d / s) log n).
+  std::size_t range_degree(std::size_t y) const;
+
+  /// Fraction of inputs x with |H(x) ∩ S| / d > |S|/s + theta, where S is
+  /// given as a membership mask over [s]. A (theta, delta) sampler keeps
+  /// this at most delta for every S; tests probe random and adversarial S.
+  double bad_fraction(const std::vector<bool>& in_s, double theta) const;
+
+ private:
+  std::size_t r_, s_, d_;
+  std::vector<std::vector<std::uint32_t>> sets_;
+};
+
+}  // namespace ba

@@ -1,0 +1,139 @@
+#include "tree/tournament_tree.h"
+
+#include <algorithm>
+
+namespace ba {
+
+TournamentTree::TournamentTree(const TreeParams& params, Rng& rng)
+    : params_(params) {
+  BA_REQUIRE(params.n >= 2, "need at least two processors");
+  BA_REQUIRE(params.q >= 2, "branching factor must be at least 2");
+  BA_REQUIRE(params.k1 >= 2, "leaf membership must be at least 2");
+  BA_REQUIRE(params.d_up >= 2, "uplink degree must be at least 2");
+  BA_REQUIRE(params.d_link >= 1, "ell-link degree must be at least 1");
+
+  const std::size_t n = params.n;
+  BA_REQUIRE(n >= 4 * params.q,
+             "tree too small: the root needs at least 4 children so the "
+             "root agreement gets enough coin rounds");
+
+  // Level sizes: n, ceil(n/q), ...; once a level is small enough the root
+  // absorbs it directly (at least 4 and at most 4q-1 children), so the
+  // root agreement always has >= 4w candidates — i.e. coin rounds.
+  std::vector<std::size_t> counts{n};
+  while (counts.back() >= 4 * params.q)
+    counts.push_back((counts.back() + params.q - 1) / params.q);
+  counts.push_back(1);
+  const std::size_t height = counts.size();
+  levels_.resize(height);
+
+  // Memberships via per-level samplers over P (distinct members per node).
+  for (std::size_t lvl = 1; lvl <= height; ++lvl) {
+    const std::size_t count = counts[lvl - 1];
+    std::size_t k = k_at(lvl);
+    if (lvl == height) k = n;  // root contains all processors
+    Rng member_rng = rng.fork(0x1000 + lvl);
+    Sampler membership(count, n, k, /*distinct=*/true, member_rng);
+    auto& nodes = levels_[lvl - 1];
+    nodes.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      nodes[i].members = membership.at(i);
+      if (lvl == height) {
+        // Deterministic root membership: every processor, in id order, so
+        // positions are stable across runs.
+        nodes[i].members.resize(n);
+        for (std::size_t p = 0; p < n; ++p)
+          nodes[i].members[p] = static_cast<std::uint32_t>(p);
+      }
+    }
+  }
+
+  // Parent/child structure and leaf ranges.
+  for (std::size_t i = 0; i < n; ++i) {
+    levels_[0][i].leaf_begin = i;
+    levels_[0][i].leaf_end = i + 1;
+  }
+  for (std::size_t lvl = 2; lvl <= height; ++lvl) {
+    auto& nodes = levels_[lvl - 1];
+    auto& below = levels_[lvl - 2];
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      // The root absorbs every node of the level below (up to 4q-1);
+      // interior levels take q children each.
+      const std::size_t c0 = nodes.size() == 1 ? 0 : i * params.q;
+      const std::size_t c1 =
+          nodes.size() == 1 ? below.size()
+                            : std::min(below.size(), c0 + params.q);
+      BA_ENSURE(c0 < below.size(), "ragged tree construction broke");
+      for (std::size_t c = c0; c < c1; ++c) {
+        nodes[i].children.push_back(c);
+        below[c].parent = i;
+      }
+      nodes[i].leaf_begin = below[c0].leaf_begin;
+      nodes[i].leaf_end = below[c1 - 1].leaf_end;
+    }
+  }
+
+  // Uplink samplers: one per level, shared across that level's nodes.
+  uplink_samplers_.reserve(height - 1);
+  for (std::size_t lvl = 1; lvl + 1 <= height; ++lvl) {
+    const std::size_t k_child = levels_[lvl - 1][0].members.size();
+    const std::size_t k_parent = levels_[lvl][0].members.size();
+    const std::size_t d = std::min(params.d_up, k_parent);
+    Rng up_rng = rng.fork(0x2000 + lvl);
+    uplink_samplers_.emplace_back(k_child, k_parent, d, /*distinct=*/true,
+                                  up_rng);
+  }
+
+  // ell-links: member position -> d_link distinct descendant leaf nodes.
+  for (std::size_t lvl = 2; lvl <= height; ++lvl) {
+    auto& nodes = levels_[lvl - 1];
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      auto& nd = nodes[i];
+      const std::size_t span = nd.leaf_end - nd.leaf_begin;
+      const std::size_t d = std::min(params.d_link, span);
+      Rng link_rng = rng.fork((0x3000 + lvl) * 0x10001 + i);
+      nd.ell.resize(nd.members.size());
+      for (std::size_t pos = 0; pos < nd.members.size(); ++pos) {
+        auto rel = link_rng.sample_without_replacement(span, d);
+        nd.ell[pos].reserve(d);
+        for (auto r : rel)
+          nd.ell[pos].push_back(
+              static_cast<std::uint32_t>(nd.leaf_begin + r));
+      }
+    }
+  }
+}
+
+const TreeNode& TournamentTree::node(std::size_t level,
+                                     std::size_t idx) const {
+  const auto& lvl = levels_[check_level(level)];
+  BA_REQUIRE(idx < lvl.size(), "node index out of range");
+  return lvl[idx];
+}
+
+std::size_t TournamentTree::k_at(std::size_t level) const {
+  check_level(level);
+  std::size_t k = params_.k1;
+  for (std::size_t l = 1; l < level; ++l) {
+    if (k >= params_.n) break;
+    k *= params_.q;
+  }
+  return std::min(k, params_.n);
+}
+
+const Sampler& TournamentTree::uplinks(std::size_t level) const {
+  BA_REQUIRE(level >= 1 && level < levels_.size(),
+             "no uplinks above the root");
+  return uplink_samplers_[level - 1];
+}
+
+double TournamentTree::good_member_fraction(
+    std::size_t level, std::size_t idx,
+    const std::vector<bool>& corrupt) const {
+  const TreeNode& nd = node(level, idx);
+  std::size_t good = 0;
+  for (auto p : nd.members) good += corrupt[p] ? 0 : 1;
+  return static_cast<double>(good) / static_cast<double>(nd.members.size());
+}
+
+}  // namespace ba

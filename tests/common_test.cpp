@@ -1,0 +1,274 @@
+// Unit and property tests for src/common: RNG, field arithmetic, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/field.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace ba {
+namespace {
+
+// ---------------------------------------------------------------- Rng --
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 16 && !differ; ++i) differ = a.next() != b.next();
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowRejectsZeroBound) {
+  Rng r(7);
+  EXPECT_THROW(r.below(0), std::logic_error);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = r.between(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values appear
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng r(11);
+  constexpr int kBuckets = 8, kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[r.below(kBuckets)];
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / kBuckets, kSamples / kBuckets / 5);
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(17);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(19);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng r(23);
+  for (std::size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    auto s = r.sample_without_replacement(100, k);
+    EXPECT_EQ(s.size(), k);
+    std::set<std::uint64_t> set(s.begin(), s.end());
+    EXPECT_EQ(set.size(), k);
+    for (auto v : s) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Rng, SampleWholeUniverse) {
+  Rng r(29);
+  auto s = r.sample_without_replacement(10, 10);
+  std::set<std::uint64_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 10u);
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  Rng r(31);
+  EXPECT_THROW(r.sample_without_replacement(5, 6), std::logic_error);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng a(99), b(99);
+  Rng fa = a.fork(1), fb = b.fork(1);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(fa.next(), fb.next());
+  Rng f1 = a.fork(1), f2 = a.fork(2);
+  bool differ = false;
+  for (int i = 0; i < 16 && !differ; ++i) differ = f1.next() != f2.next();
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(5), b(5);
+  (void)a.fork(77);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ----------------------------------------------------------------- Fp --
+
+TEST(Fp, CanonicalReduction) {
+  EXPECT_EQ(Fp(Fp::kP).value(), 0u);
+  EXPECT_EQ(Fp(Fp::kP + 5).value(), 5u);
+  EXPECT_EQ(Fp(~std::uint64_t{0}).value(), (~std::uint64_t{0}) % Fp::kP);
+}
+
+TEST(Fp, AdditionWraps) {
+  Fp a(Fp::kP - 1), b(2);
+  EXPECT_EQ((a + b).value(), 1u);
+}
+
+TEST(Fp, SubtractionWraps) {
+  Fp a(1), b(2);
+  EXPECT_EQ((a - b).value(), Fp::kP - 1);
+}
+
+TEST(Fp, MultiplicationMatchesNaive) {
+  Rng r(41);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t x = r.next() % Fp::kP;
+    const std::uint64_t y = r.next() % Fp::kP;
+    const auto expect = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * y) % Fp::kP);
+    EXPECT_EQ((Fp(x) * Fp(y)).value(), expect);
+  }
+}
+
+TEST(Fp, PowMatchesRepeatedMultiplication) {
+  Fp base(12345);
+  Fp acc(1);
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(base.pow(e), acc);
+    acc *= base;
+  }
+}
+
+TEST(Fp, InverseIsInverse) {
+  Rng r(43);
+  for (int i = 0; i < 100; ++i) {
+    Fp x(r.next());
+    if (x.is_zero()) continue;
+    EXPECT_EQ(x * x.inverse(), Fp(1));
+  }
+}
+
+TEST(Fp, InverseOfZeroThrows) {
+  EXPECT_THROW(Fp(0).inverse(), std::logic_error);
+}
+
+TEST(Fp, FermatLittleTheorem) {
+  Rng r(47);
+  for (int i = 0; i < 20; ++i) {
+    Fp x(r.next());
+    if (x.is_zero()) continue;
+    EXPECT_EQ(x.pow(Fp::kP - 1), Fp(1));
+  }
+}
+
+TEST(PolyEval, HornerMatchesDirect) {
+  // p(x) = 3 + 2x + x^2 at x = 10 -> 123.
+  std::vector<Fp> coeffs{Fp(3), Fp(2), Fp(1)};
+  EXPECT_EQ(poly_eval(coeffs, Fp(10)), Fp(123));
+}
+
+TEST(PolyEval, EmptyPolynomialIsZero) {
+  EXPECT_EQ(poly_eval({}, Fp(5)), Fp(0));
+}
+
+TEST(Lagrange, RecoversConstantTerm) {
+  Rng r(53);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Fp> coeffs;
+    const std::size_t deg = 1 + trial % 6;
+    for (std::size_t i = 0; i <= deg; ++i) coeffs.push_back(Fp(r.next()));
+    std::vector<Fp> xs, ys;
+    for (std::size_t i = 1; i <= deg + 1; ++i) {
+      xs.push_back(Fp(i * 7));
+      ys.push_back(poly_eval(coeffs, Fp(i * 7)));
+    }
+    EXPECT_EQ(lagrange_at_zero(xs, ys), coeffs[0]);
+  }
+}
+
+TEST(Lagrange, RejectsDuplicatePoints) {
+  std::vector<Fp> xs{Fp(1), Fp(1)};
+  std::vector<Fp> ys{Fp(2), Fp(3)};
+  EXPECT_THROW(lagrange_at_zero(xs, ys), std::logic_error);
+}
+
+// -------------------------------------------------------------- Table --
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo");
+  t.header({"a", "b"});
+  t.row({std::int64_t{1}, std::string("x")});
+  t.row({2.5, std::string("y")});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RowWidthMustMatchHeader) {
+  Table t("demo");
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({std::int64_t{1}}), std::logic_error);
+}
+
+TEST(Table, CsvOutput) {
+  Table t("demo");
+  t.header({"a", "b"});
+  t.row({std::int64_t{1}, std::int64_t{2}});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(FitLogLog, RecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x : {16.0, 64.0, 256.0, 1024.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 1.5));
+  }
+  EXPECT_NEAR(fit_log_log_exponent(xs, ys), 1.5, 1e-9);
+}
+
+TEST(FitLogLog, IgnoresNonPositivePoints) {
+  std::vector<double> xs{-1.0, 16.0, 64.0, 256.0};
+  std::vector<double> ys{5.0, 4.0, 8.0, 16.0};
+  EXPECT_NEAR(fit_log_log_exponent(xs, ys), 0.5, 1e-9);
+}
+
+TEST(FitLogLog, NeedsTwoPoints) {
+  EXPECT_THROW(fit_log_log_exponent({1.0}, {1.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ba

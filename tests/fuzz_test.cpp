@@ -1,0 +1,177 @@
+// Randomized property sweeps ("fuzz" at simulation scale): malformed and
+// adversarial inputs must never crash, and structural invariants must
+// survive arbitrary-ish traffic.
+#include <gtest/gtest.h>
+
+#include "adversary/strategies.h"
+#include "aeba/aeba_with_coins.h"
+#include "core/share_flow.h"
+#include "crypto/berlekamp_welch.h"
+#include "election/feige.h"
+
+namespace ba {
+namespace {
+
+TEST(NetworkFuzz, RandomTrafficKeepsInvariants) {
+  Rng rng(1);
+  Network net(32, 10);
+  for (int round = 0; round < 50; ++round) {
+    const int sends = static_cast<int>(rng.below(64));
+    for (int i = 0; i < sends; ++i) {
+      const auto from = static_cast<ProcId>(rng.below(32));
+      const auto to = static_cast<ProcId>(rng.below(32));
+      Payload p;
+      p.tag = static_cast<std::uint32_t>(rng.next());
+      const auto words = rng.below(5);
+      for (std::uint64_t w = 0; w < words; ++w) p.words.push_back(rng.next());
+      p.content_bits = rng.below(4096);
+      net.send(from, to, std::move(p));
+    }
+    if (rng.bernoulli(0.1) && net.corruption_budget_left() > 0)
+      net.corrupt(static_cast<ProcId>(rng.below(32)));
+    net.advance_round();
+    for (ProcId p = 0; p < 32; ++p) {
+      const auto& box = net.inbox(p);
+      for (std::size_t i = 1; i < box.size(); ++i)
+        EXPECT_LE(box[i - 1].from, box[i].from);  // sorted by sender
+    }
+  }
+  EXPECT_LE(net.corrupt_count(), 10u);
+  EXPECT_EQ(net.round(), 50u);
+}
+
+TEST(AebaFuzz, MalformedVotesNeverCrashOrCorruptGoodState) {
+  const std::size_t n = 24;
+  Network net(n, 8);
+  Rng gr(2);
+  auto graph = RegularGraph::random(n, 4, gr);
+  std::vector<ProcId> members(n);
+  for (std::size_t i = 0; i < n; ++i) members[i] = static_cast<ProcId>(i);
+  AebaMachine machine(99, members, &graph, AebaParams{}, 5);
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t i = 0; i < 5; ++i) machine.set_input(p, i, true);
+
+  Rng fuzz(3);
+  SharedRandomCoins coins(Rng(4));
+  for (int round = 0; round < 10; ++round) {
+    machine.send_votes(net);
+    // Inject garbage: truncated payloads, wrong contexts, huge word
+    // vectors, duplicate floods from real members.
+    for (int i = 0; i < 40; ++i) {
+      Payload p;
+      p.tag = fuzz.bernoulli(0.7) ? kTagAebaVote
+                                  : static_cast<std::uint32_t>(fuzz.next());
+      const auto words = fuzz.below(4);
+      for (std::uint64_t w = 0; w < words; ++w)
+        p.words.push_back(fuzz.bernoulli(0.5) ? 99 : fuzz.next());
+      p.content_bits = 5;
+      net.send(static_cast<ProcId>(fuzz.below(n)),
+               static_cast<ProcId>(fuzz.below(n)), std::move(p));
+    }
+    net.advance_round();
+    machine.tally_votes(net, coins, round);
+  }
+  // Unanimous honest inputs with zero corrupted members: garbage traffic
+  // from *member* senders is only counted if correctly framed, and those
+  // frames still carry member-grade votes — agreement must hold.
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_TRUE(machine.good_majority(i, net.corrupt_mask()));
+}
+
+TEST(ElectionFuzz, WinnersAlwaysWellFormed) {
+  Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t r = 2 + rng.below(64);
+    const std::size_t w = 1 + rng.below(r);
+    ElectionParams ep{r, w};
+    std::vector<std::uint32_t> bins(r);
+    for (auto& b : bins) b = static_cast<std::uint32_t>(rng.next());
+    auto winners = lightest_bin_winners(bins, ep);
+    EXPECT_EQ(winners.size(), w);
+    std::vector<bool> seen(r, false);
+    for (auto c : winners) {
+      ASSERT_LT(c, r);
+      EXPECT_FALSE(seen[c]);
+      seen[c] = true;
+    }
+  }
+}
+
+TEST(BerlekampWelchFuzz, AlwaysDecodesWithinBudget) {
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t d = 6 + rng.below(12);      // 6..17 shares
+    const std::size_t t = 1 + rng.below(d / 3);   // privacy threshold
+    const std::size_t e = (d - t - 1) / 2;
+    ShamirScheme scheme(d, t);
+    std::vector<Fp> secret{Fp(rng.next()), Fp(rng.next())};
+    auto shares = scheme.deal(secret, rng);
+    const std::size_t errors = rng.below(e + 1);
+    for (auto b : rng.sample_without_replacement(d, errors))
+      for (auto& y : shares[b].ys) y = Fp(rng.next());
+    auto rec = robust_reconstruct(shares, t);
+    ASSERT_TRUE(rec.has_value())
+        << "d=" << d << " t=" << t << " errors=" << errors;
+    EXPECT_EQ(*rec, secret);
+  }
+}
+
+TEST(ShareFlowFuzz, RandomParameterGridRoundTrips) {
+  Rng meta(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    ProtocolParams params = ProtocolParams::laptop_scale(64);
+    params.tree.q = 4;
+    params.tree.k1 = 8 + 4 * meta.below(2);   // 8 or 12
+    params.tree.d_up = 9 + 3 * meta.below(3); // 9, 12, 15
+    Rng rng(100 + trial);
+    Rng tr = rng.fork(1);
+    TournamentTree tree(params.tree, tr);
+    Network net(64, 21);
+    ShareFlow flow(params, tree, net, rng.fork(2));
+    // Light random corruption (5%), owner spared.
+    for (int c = 0; c < 3; ++c) {
+      auto p = static_cast<ProcId>(rng.below(64));
+      if (p != 3 && !net.is_corrupt(p)) net.corrupt(p);
+    }
+    ArrayState a;
+    a.id = 3;
+    a.truth.assign(6, 0);
+    for (auto& w : a.truth) w = rng.next() & Fp::kP;
+    std::vector<Fp> fw(6);
+    for (int i = 0; i < 6; ++i) fw[i] = Fp(a.truth[i]);
+    a.recs = flow.deal_to_leaf(3, 3, fw);
+    a.level = 1;
+    a.node_idx = 3;
+    flow.send_secret_up(a, 0, [](std::size_t) { return true; });
+    flow.send_secret_up(a, 2, [](std::size_t) { return true; });
+    LeafViews lv = flow.send_down(a, 2, 6);
+    MemberViews mv = flow.send_open(a.level, a.node_idx, lv);
+    const auto& members = tree.node(a.level, a.node_idx).members;
+    std::size_t correct = 0, good = 0;
+    for (std::size_t pos = 0; pos < members.size(); ++pos) {
+      if (net.is_corrupt(members[pos])) continue;
+      ++good;
+      correct += mv.at(pos, 0).value() == a.truth[2] ? 1 : 0;
+    }
+    EXPECT_GE(static_cast<double>(correct) / static_cast<double>(good), 0.9)
+        << "k1=" << params.tree.k1 << " d_up=" << params.tree.d_up;
+  }
+}
+
+TEST(SamplerFuzz, DegreeAlwaysRespected) {
+  Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t r = 2 + rng.below(64);
+    const std::size_t s = 2 + rng.below(64);
+    const std::size_t d = 1 + rng.below(std::min<std::uint64_t>(s, 16));
+    Rng srng(trial);
+    Sampler smp(r, s, d, /*distinct=*/true, srng);
+    for (std::size_t x = 0; x < r; ++x) {
+      EXPECT_EQ(smp.at(x).size(), d);
+      for (auto v : smp.at(x)) EXPECT_LT(v, s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ba

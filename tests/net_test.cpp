@@ -1,0 +1,158 @@
+// Tests for the synchronous network: delivery semantics, privacy of the
+// adversary's view, corruption budget, bit accounting.
+#include <gtest/gtest.h>
+
+#include "net/adversary.h"
+#include "net/network.h"
+
+namespace ba {
+namespace {
+
+TEST(Network, DeliversNextRound) {
+  Network net(4, 1);
+  net.send(0, 1, make_value_payload(7, 42, 8));
+  EXPECT_TRUE(net.inbox(1).empty());  // not yet delivered
+  net.advance_round();
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].from, 0u);
+  EXPECT_EQ(net.inbox(1)[0].payload.words[0], 42u);
+}
+
+TEST(Network, InboxClearedEachRound) {
+  Network net(4, 1);
+  net.send(0, 1, make_value_payload(7, 1, 1));
+  net.advance_round();
+  EXPECT_EQ(net.inbox(1).size(), 1u);
+  net.advance_round();
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(Network, InboxSortedBySender) {
+  Network net(5, 1);
+  net.send(3, 0, make_value_payload(7, 3, 2));
+  net.send(1, 0, make_value_payload(7, 1, 2));
+  net.send(2, 0, make_value_payload(7, 2, 2));
+  net.advance_round();
+  ASSERT_EQ(net.inbox(0).size(), 3u);
+  EXPECT_EQ(net.inbox(0)[0].from, 1u);
+  EXPECT_EQ(net.inbox(0)[1].from, 2u);
+  EXPECT_EQ(net.inbox(0)[2].from, 3u);
+}
+
+TEST(Network, DuplicatesFromOneSenderStayAdjacentAndOrdered) {
+  Network net(3, 1);
+  net.send(1, 0, make_value_payload(7, 10, 4));
+  net.send(2, 0, make_value_payload(7, 99, 4));
+  net.send(1, 0, make_value_payload(7, 11, 4));
+  net.advance_round();
+  ASSERT_EQ(net.inbox(0).size(), 3u);
+  EXPECT_EQ(net.inbox(0)[0].payload.words[0], 10u);  // first msg from 1
+  EXPECT_EQ(net.inbox(0)[1].payload.words[0], 11u);  // second msg from 1
+  EXPECT_EQ(net.inbox(0)[2].from, 2u);
+}
+
+TEST(Network, RoundCounterAdvances) {
+  Network net(2, 1);
+  EXPECT_EQ(net.round(), 0u);
+  net.advance_round();
+  net.advance_round();
+  EXPECT_EQ(net.round(), 2u);
+}
+
+TEST(Network, CorruptionBudgetEnforced) {
+  Network net(9, 2);
+  net.corrupt(0);
+  net.corrupt(1);
+  EXPECT_EQ(net.corruption_budget_left(), 0u);
+  EXPECT_THROW(net.corrupt(2), std::logic_error);
+  net.corrupt(1);  // re-corrupting is a no-op
+  EXPECT_EQ(net.corrupt_count(), 2u);
+}
+
+TEST(Network, GoodProcsExcludesCorrupt) {
+  Network net(5, 2);
+  net.corrupt(2);
+  auto good = net.good_procs();
+  EXPECT_EQ(good.size(), 4u);
+  for (auto p : good) EXPECT_NE(p, 2u);
+}
+
+TEST(Network, AdversarySeesOnlyCorruptEndpoints) {
+  // Private channels: pending traffic between good processors is
+  // invisible to the adversary.
+  Network net(4, 1);
+  net.corrupt(3);
+  net.send(0, 1, make_value_payload(7, 1, 1));  // good -> good: hidden
+  net.send(0, 3, make_value_payload(7, 2, 1));  // good -> corrupt: visible
+  net.send(3, 2, make_value_payload(7, 3, 1));  // corrupt -> good: visible
+  auto visible = net.pending_visible_to_adversary();
+  ASSERT_EQ(visible.size(), 2u);
+  for (const auto* e : visible)
+    EXPECT_TRUE(net.is_corrupt(e->from) || net.is_corrupt(e->to));
+}
+
+TEST(Network, LedgerChargesSenderAndReceiver) {
+  Network net(3, 1);
+  Payload p = make_value_payload(7, 5, 10);  // 10 content bits
+  const std::size_t bits = p.bits();
+  net.send(0, 1, std::move(p));
+  EXPECT_EQ(net.ledger().bits_sent(0), bits);
+  EXPECT_EQ(net.ledger().msgs_sent(0), 1u);
+  EXPECT_EQ(net.ledger().bits_received(1), 0u);  // charged on delivery
+  net.advance_round();
+  EXPECT_EQ(net.ledger().bits_received(1), bits);
+}
+
+TEST(Network, ChargeBulkMatchesSend) {
+  Network a(3, 1), b(3, 1);
+  Payload p = make_value_payload(7, 5, 10);
+  a.send(0, 1, p);
+  a.advance_round();
+  b.charge_bulk(0, 1, 10);
+  EXPECT_EQ(a.ledger().bits_sent(0), b.ledger().bits_sent(0));
+  EXPECT_EQ(a.ledger().bits_received(1), b.ledger().bits_received(1));
+}
+
+TEST(Network, RejectsBadIds) {
+  Network net(3, 1);
+  EXPECT_THROW(net.send(0, 5, Payload{}), std::logic_error);
+  EXPECT_THROW(net.send(5, 0, Payload{}), std::logic_error);
+  EXPECT_THROW(net.corrupt(9), std::logic_error);
+}
+
+TEST(Network, RejectsFullCorruption) {
+  EXPECT_THROW(Network(3, 3), std::logic_error);
+}
+
+TEST(BitLedger, MaxAndTotalsByMask) {
+  BitLedger ledger(4);
+  ledger.charge_send(0, 10);
+  ledger.charge_send(1, 30);
+  ledger.charge_send(2, 20);
+  std::vector<bool> corrupt{false, true, false, false};
+  EXPECT_EQ(ledger.max_bits_sent(corrupt, false), 20u);
+  EXPECT_EQ(ledger.max_bits_sent(corrupt, true), 30u);
+  EXPECT_EQ(ledger.total_bits_sent(corrupt, false), 30u);
+  EXPECT_EQ(ledger.total_msgs_sent(corrupt, false), 2u);
+}
+
+TEST(Payload, BitAccounting) {
+  Payload words = make_words_payload(1, {1, 2, 3});
+  EXPECT_EQ(words.content_bits, 3 * kWordBits);
+  EXPECT_EQ(words.bits(), 3 * kWordBits + kHeaderBits);
+  Payload vote = make_value_payload(2, 1, 1);
+  EXPECT_EQ(vote.bits(), 1 + kHeaderBits);
+}
+
+TEST(PassiveStaticAdversary, CorruptsItsSetOnly) {
+  Network net(10, 3);
+  PassiveStaticAdversary adv({1, 4, 7});
+  adv.on_start(net);
+  EXPECT_TRUE(net.is_corrupt(1));
+  EXPECT_TRUE(net.is_corrupt(4));
+  EXPECT_TRUE(net.is_corrupt(7));
+  EXPECT_EQ(net.corrupt_count(), 3u);
+}
+
+}  // namespace
+}  // namespace ba

@@ -1,0 +1,188 @@
+// Tests for averaging samplers (Definition 2 / Lemma 2) and the random
+// regular graphs of Algorithm 5.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/regular_graph.h"
+#include "sampler/sampler.h"
+
+namespace ba {
+namespace {
+
+TEST(Sampler, ShapesAndRanges) {
+  Rng rng(1);
+  Sampler s(100, 50, 8, /*distinct=*/false, rng);
+  EXPECT_EQ(s.domain_size(), 100u);
+  EXPECT_EQ(s.range_size(), 50u);
+  EXPECT_EQ(s.degree(), 8u);
+  for (std::size_t x = 0; x < 100; ++x) {
+    EXPECT_EQ(s.at(x).size(), 8u);
+    for (auto v : s.at(x)) EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(Sampler, DistinctModeHasNoRepeats) {
+  Rng rng(2);
+  Sampler s(64, 32, 10, /*distinct=*/true, rng);
+  for (std::size_t x = 0; x < 64; ++x) {
+    std::set<std::uint32_t> set(s.at(x).begin(), s.at(x).end());
+    EXPECT_EQ(set.size(), 10u);
+  }
+}
+
+TEST(Sampler, DistinctRequiresRoom) {
+  Rng rng(3);
+  EXPECT_THROW(Sampler(4, 3, 5, true, rng), std::logic_error);
+}
+
+TEST(Sampler, SamplingPropertyOnRandomSets) {
+  // Lemma 2 shape: for random S of size s/3, only a small fraction of
+  // inputs over-sample by theta = 0.15 (laptop-scale parameters).
+  Rng rng(4);
+  Sampler s(512, 256, 24, /*distinct=*/true, rng);
+  Rng set_rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<bool> in_s(256, false);
+    for (auto v : set_rng.sample_without_replacement(256, 85)) in_s[v] = true;
+    EXPECT_LE(s.bad_fraction(in_s, 0.15), 0.10)
+        << "trial " << trial;
+  }
+}
+
+TEST(Sampler, AdversarialSetStillBounded) {
+  // The *worst* set an adversary can pick against a fixed sampler: the
+  // range elements with highest degree. Still bounded for our sizes.
+  Rng rng(6);
+  Sampler s(256, 128, 16, true, rng);
+  std::vector<std::pair<std::size_t, std::size_t>> degs;
+  for (std::size_t y = 0; y < 128; ++y) degs.push_back({s.range_degree(y), y});
+  std::sort(degs.rbegin(), degs.rend());
+  std::vector<bool> in_s(128, false);
+  for (std::size_t i = 0; i < 42; ++i) in_s[degs[i].second] = true;  // |S| = n/3
+  EXPECT_LE(s.bad_fraction(in_s, 0.25), 0.25);
+}
+
+TEST(Sampler, RangeDegreeCountsMultiplicity) {
+  Rng rng(7);
+  Sampler s(32, 8, 4, false, rng);
+  std::size_t total = 0;
+  for (std::size_t y = 0; y < 8; ++y) total += s.range_degree(y);
+  EXPECT_EQ(total, 32u * 4u);  // every multiset slot counted once
+}
+
+TEST(Sampler, EmptySetNeverOversampled) {
+  Rng rng(8);
+  Sampler s(64, 32, 8, true, rng);
+  std::vector<bool> empty(32, false);
+  EXPECT_EQ(s.bad_fraction(empty, 0.01), 0.0);
+}
+
+TEST(Sampler, FullSetNeverOversampled) {
+  Rng rng(9);
+  Sampler s(64, 32, 8, true, rng);
+  std::vector<bool> full(32, true);
+  EXPECT_EQ(s.bad_fraction(full, 0.01), 0.0);
+}
+
+// ------------------------------------------------------------- graphs --
+
+TEST(RegularGraph, RandomShape) {
+  Rng rng(10);
+  auto g = RegularGraph::random(100, 6, rng);
+  EXPECT_EQ(g.size(), 100u);
+  EXPECT_GE(g.min_degree(), 6u);  // symmetrised union: at least out-degree
+  for (std::size_t v = 0; v < 100; ++v) {
+    std::set<std::uint32_t> nb(g.neighbors(v).begin(), g.neighbors(v).end());
+    EXPECT_EQ(nb.size(), g.neighbors(v).size());  // deduplicated
+    EXPECT_EQ(nb.count(static_cast<std::uint32_t>(v)), 0u);  // no self loop
+  }
+}
+
+TEST(RegularGraph, SymmetricAdjacency) {
+  Rng rng(11);
+  auto g = RegularGraph::random(50, 4, rng);
+  for (std::size_t v = 0; v < 50; ++v) {
+    for (auto u : g.neighbors(v)) {
+      const auto& back = g.neighbors(u);
+      EXPECT_TRUE(std::find(back.begin(), back.end(),
+                            static_cast<std::uint32_t>(v)) != back.end());
+    }
+  }
+}
+
+TEST(RegularGraph, AverageDegreeNearTwiceOut) {
+  Rng rng(12);
+  auto g = RegularGraph::random(400, 8, rng);
+  EXPECT_NEAR(g.average_degree(), 16.0, 2.0);
+}
+
+TEST(RegularGraph, CompleteGraph) {
+  auto g = RegularGraph::complete(6);
+  for (std::size_t v = 0; v < 6; ++v) {
+    EXPECT_EQ(g.neighbors(v).size(), 5u);
+  }
+  EXPECT_EQ(g.min_degree(), 5u);
+}
+
+TEST(RegularGraph, RejectsBadParams) {
+  Rng rng(13);
+  EXPECT_THROW(RegularGraph::random(1, 1, rng), std::logic_error);
+  EXPECT_THROW(RegularGraph::random(5, 5, rng), std::logic_error);
+  EXPECT_THROW(RegularGraph::random(5, 0, rng), std::logic_error);
+}
+
+TEST(RegularGraph, ConnectedAtModestDegree) {
+  // Random graphs with out-degree >= 3 are connected w.h.p. at this size;
+  // agreement protocols rely on it. BFS check.
+  Rng rng(14);
+  auto g = RegularGraph::random(200, 4, rng);
+  std::vector<bool> seen(200, false);
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!stack.empty()) {
+    auto v = stack.back();
+    stack.pop_back();
+    for (auto u : g.neighbors(v)) {
+      if (!seen[u]) {
+        seen[u] = true;
+        ++count;
+        stack.push_back(u);
+      }
+    }
+  }
+  EXPECT_EQ(count, 200u);
+}
+
+// Parameterized: expansion-ish property across degrees — every vertex
+// subset of half the graph has many outgoing edges (spot check on random
+// subsets, which is what the AEBA concentration argument needs).
+class GraphDegrees : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GraphDegrees, RandomHalvesSeeManyCrossEdges) {
+  const std::size_t deg = GetParam();
+  Rng rng(15 + deg);
+  const std::size_t n = 128;
+  auto g = RegularGraph::random(n, deg, rng);
+  Rng pick(16);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<bool> in_s(n, false);
+    for (auto v : pick.sample_without_replacement(n, n / 2)) in_s[v] = true;
+    std::size_t cross = 0, total = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!in_s[v]) continue;
+      for (auto u : g.neighbors(v)) {
+        ++total;
+        cross += in_s[u] ? 0 : 1;
+      }
+    }
+    // Half the endpoints should land outside S, within generous slack.
+    EXPECT_GT(static_cast<double>(cross) / static_cast<double>(total), 0.3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, GraphDegrees, ::testing::Values(3, 4, 6, 8, 12));
+
+}  // namespace
+}  // namespace ba

@@ -1,0 +1,103 @@
+// Tests for universe reduction (§1's companion claim) — committee
+// sampling from the released coin subsequence.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adversary/strategies.h"
+#include "core/universe_reduction.h"
+
+namespace ba {
+namespace {
+
+TEST(SampleCommittee, OneSlotPerWordDeterministic) {
+  std::vector<std::uint64_t> words{5, 5, 13, 21, 5, 99};
+  auto c = UniverseReduction::sample_committee(words, 16, 3);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], 5u);   // 5 % 16
+  EXPECT_EQ(c[1], 5u);   // slots are independent: repeats allowed
+  EXPECT_EQ(c[2], 13u);
+}
+
+TEST(SampleCommittee, DivergentWordOnlyShiftsItsOwnSlot) {
+  std::vector<std::uint64_t> a{5, 21, 99};
+  std::vector<std::uint64_t> b{5, 22, 99};  // word 1 diverges
+  auto ca = UniverseReduction::sample_committee(a, 16, 3);
+  auto cb = UniverseReduction::sample_committee(b, 16, 3);
+  EXPECT_EQ(ca[0], cb[0]);
+  EXPECT_NE(ca[1], cb[1]);
+  EXPECT_EQ(ca[2], cb[2]);
+}
+
+TEST(SampleCommittee, ShortSequenceGivesShortCommittee) {
+  std::vector<std::uint64_t> words{1, 1, 1};
+  auto c = UniverseReduction::sample_committee(words, 8, 5);
+  EXPECT_EQ(c.size(), 3u);  // one slot per available word
+}
+
+TEST(SampleCommittee, UniformOverProcessors) {
+  Rng rng(3);
+  std::vector<std::size_t> hits(8, 0);
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::vector<std::uint64_t> words{rng.next()};
+    auto c = UniverseReduction::sample_committee(words, 8, 1);
+    ASSERT_EQ(c.size(), 1u);
+    ++hits[c[0]];
+  }
+  for (auto h : hits) EXPECT_NEAR(h, 500, 110);
+}
+
+TEST(UniverseReduction, NoFaultsFullAgreementAndCoverage) {
+  const std::size_t n = 64;
+  Network net(n, n / 3);
+  PassiveStaticAdversary adv({});
+  auto params = ProtocolParams::laptop_scale(n);
+  params.coin_words = 4;
+  UniverseReduction ur(params, 8, 5);
+  auto res = ur.run(net, adv);
+  ASSERT_EQ(res.committee.size(), 8u);
+  for (auto p : res.committee) EXPECT_LT(p, n);
+  EXPECT_DOUBLE_EQ(res.view_agreement, 1.0);
+  EXPECT_DOUBLE_EQ(res.good_fraction_at_sampling, 1.0);
+}
+
+TEST(UniverseReduction, RepresentativeUnderCorruption) {
+  const std::size_t n = 64;
+  Network net(n, n / 3);
+  StaticMaliciousAdversary adv(0.1, 6);
+  auto params = ProtocolParams::laptop_scale(n);
+  params.coin_words = 4;
+  UniverseReduction ur(params, 8, 7);
+  auto res = ur.run(net, adv);
+  EXPECT_GE(res.view_agreement, 0.85);
+  // With 8 samples from a 90%-good population, 5/8 good is a >3-sigma
+  // floor — representative, not adversary-steered.
+  EXPECT_GE(res.good_fraction_at_sampling, 5.0 / 8.0);
+  EXPECT_NEAR(res.population_good_fraction, 0.9, 0.02);
+}
+
+TEST(UniverseReduction, RejectsOversizedCommittee) {
+  const std::size_t n = 64;
+  Network net(n, n / 3);
+  PassiveStaticAdversary adv({});
+  auto params = ProtocolParams::laptop_scale(n);
+  params.coin_words = 1;
+  UniverseReduction ur(params, 1000, 8);
+  EXPECT_THROW(ur.run(net, adv), std::logic_error);
+}
+
+TEST(UniverseReduction, DeterministicPerSeed) {
+  const std::size_t n = 64;
+  auto run_once = [&] {
+    Network net(n, n / 3);
+    PassiveStaticAdversary adv({});
+    auto params = ProtocolParams::laptop_scale(n);
+    params.coin_words = 4;
+    UniverseReduction ur(params, 6, 11);
+    return ur.run(net, adv).committee;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ba
