@@ -1,13 +1,28 @@
 // µ — google-benchmark microbenchmarks for the hot substrate paths:
 // field arithmetic, Shamir deal/reconstruct, Berlekamp–Welch decode,
 // sampler construction, network round throughput, one AEBA round.
+//
+// After the google-benchmark suite, main() runs a before/after comparison
+// harness against the seed implementations preserved in legacy_baseline.h
+// and writes the results to BENCH_micro.json (override the path with
+// BA_BENCH_JSON; set BA_BENCH_SMOKE=1 for a fast CI pass). Skip the
+// google-benchmark suite with --benchmark_filter=SKIP_ALL to get only the
+// JSON comparison.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "aeba/aeba_with_coins.h"
 #include "crypto/berlekamp_welch.h"
 #include "crypto/shamir.h"
 #include "net/network.h"
 #include "sampler/sampler.h"
+
+#include "legacy_baseline.h"
 
 namespace ba {
 namespace {
@@ -58,7 +73,42 @@ void BM_ShamirReconstruct(benchmark::State& state) {
     benchmark::DoNotOptimize(rec);
   }
 }
-BENCHMARK(BM_ShamirReconstruct)->Arg(8)->Arg(12)->Arg(32);
+BENCHMARK(BM_ShamirReconstruct)->Arg(8)->Arg(12)->Arg(32)->Arg(48);
+
+void BM_BatchInverse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(40);
+  std::vector<Fp> base(n);
+  for (auto& x : base) x = Fp(rng.next() | 1);
+  std::vector<Fp> v;
+  for (auto _ : state) {
+    v = base;
+    batch_inverse(v);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BatchInverse)->Arg(33)->Arg(256);
+
+void BM_PayloadChurn(benchmark::State& state) {
+  // The per-message cost of a 1-word payload: construct, move through an
+  // envelope vector, destroy. Small-buffer payloads never hit the heap.
+  constexpr std::size_t kBatch = 1024;
+  std::vector<Envelope> envs;
+  envs.reserve(kBatch);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      Envelope e;
+      e.from = static_cast<ProcId>(i);
+      e.payload = make_value_payload(1, i, 61);
+      envs.push_back(std::move(e));
+    }
+    benchmark::DoNotOptimize(envs.data());
+    envs.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_PayloadChurn);
 
 void BM_BerlekampWelchClean(benchmark::State& state) {
   Rng rng(5);
@@ -127,6 +177,186 @@ void BM_AebaRound(benchmark::State& state) {
 BENCHMARK(BM_AebaRound)->Arg(256)->Arg(1024);
 
 }  // namespace
+
+// ------------------------------------------------------------------------
+// Before/after comparison harness: times the seed implementations from
+// legacy_baseline.h against the current library on identical inputs and
+// records both in BENCH_micro.json. This is the perf ledger the ROADMAP's
+// "as fast as the hardware allows" goal is tracked with.
+namespace bench_micro {
+namespace {
+
+struct Comparison {
+  std::string name;
+  std::string params;
+  double legacy_ns = 0;
+  double current_ns = 0;
+  double speedup() const { return legacy_ns / current_ns; }
+};
+
+bool smoke_mode() {
+  const char* v = std::getenv("BA_BENCH_SMOKE");
+  return v != nullptr && v[0] == '1';
+}
+
+template <typename F>
+double time_ns_per_op(F&& fn) {
+  using clock = std::chrono::steady_clock;
+  const double min_seconds = smoke_mode() ? 0.02 : 0.25;
+  fn();  // warmup
+  std::size_t done = 0;
+  std::size_t batch = 1;
+  const auto t0 = clock::now();
+  double elapsed = 0;
+  for (;;) {
+    for (std::size_t i = 0; i < batch; ++i) fn();
+    done += batch;
+    elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+    if (elapsed >= min_seconds) break;
+    batch = done;  // geometric growth
+  }
+  return elapsed * 1e9 / static_cast<double>(done);
+}
+
+Comparison compare_shamir_reconstruct() {
+  // Acceptance target: >= 3x on vector reconstruction, words >= 64,
+  // m = shares_needed >= 33.
+  constexpr std::size_t kShares = 48, kThreshold = 32, kWords = 64;
+  Rng rng(1001);
+  ShamirScheme scheme(kShares, kThreshold);
+  std::vector<Fp> secret(kWords);
+  for (auto& w : secret) w = Fp(rng.next());
+  const auto shares = scheme.deal(secret, rng);
+  // Sanity: both paths must reconstruct the same value.
+  BA_REQUIRE(scheme.reconstruct(shares) ==
+                 legacy::shamir_reconstruct(shares, scheme.shares_needed()),
+             "legacy and current reconstruction disagree");
+  Comparison c;
+  c.name = "shamir_vector_reconstruct";
+  c.params = "shares=48 threshold=32 m=33 words=64";
+  c.legacy_ns = time_ns_per_op([&] {
+    auto rec = legacy::shamir_reconstruct(shares, scheme.shares_needed());
+    benchmark::DoNotOptimize(rec);
+  });
+  c.current_ns = time_ns_per_op([&] {
+    auto rec = scheme.reconstruct(shares);
+    benchmark::DoNotOptimize(rec);
+  });
+  return c;
+}
+
+Comparison compare_network_round() {
+  // Acceptance target: >= 2x on per-round delivery at n = 4096. Senders
+  // fire in a scrambled order (as they do once the rushing adversary
+  // interleaves), so inboxes do not arrive pre-sorted.
+  constexpr std::size_t kN = 4096, kFanout = 4;
+  constexpr std::size_t kStride = 1597;  // coprime to 4096
+  Network net(kN, kN / 3);
+  legacy::Network lnet(kN, kN / 3);
+  const auto run_round = [&](auto& n2, auto make_payload) {
+    for (std::size_t i = 0; i < kN; ++i) {
+      const auto p = static_cast<std::uint32_t>((i * kStride) % kN);
+      for (std::size_t j = 0; j < kFanout; ++j) {
+        const auto to =
+            static_cast<std::uint32_t>((p * 2654435761u + 977u * j) % kN);
+        n2.send(p, to, make_payload(1, p, 1));
+      }
+    }
+    n2.advance_round();
+  };
+  Comparison c;
+  c.name = "network_round_delivery";
+  c.params = "n=4096 fanout=4 scrambled_senders";
+  c.legacy_ns = time_ns_per_op(
+      [&] { run_round(lnet, legacy::make_value_payload); });
+  c.current_ns = time_ns_per_op([&] { run_round(net, make_value_payload); });
+  return c;
+}
+
+Comparison compare_payload_churn() {
+  // Construct + move + destroy 1-word payloads, the dominant message
+  // shape. The seed heap-allocated a std::vector per payload.
+  constexpr std::size_t kBatch = 4096;
+  Comparison c;
+  c.name = "payload_churn";
+  c.params = "batch=4096 words=1";
+  {
+    std::vector<legacy::Envelope> envs;
+    envs.reserve(kBatch);
+    c.legacy_ns = time_ns_per_op([&] {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        legacy::Envelope e;
+        e.from = static_cast<std::uint32_t>(i);
+        e.payload = legacy::make_value_payload(1, i, 61);
+        envs.push_back(std::move(e));
+      }
+      benchmark::DoNotOptimize(envs.data());
+      envs.clear();
+    });
+  }
+  {
+    std::vector<Envelope> envs;
+    envs.reserve(kBatch);
+    c.current_ns = time_ns_per_op([&] {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        Envelope e;
+        e.from = static_cast<ProcId>(i);
+        e.payload = make_value_payload(1, i, 61);
+        envs.push_back(std::move(e));
+      }
+      benchmark::DoNotOptimize(envs.data());
+      envs.clear();
+    });
+  }
+  return c;
+}
+
+}  // namespace
+
+int write_comparison_json() {
+  std::vector<Comparison> comps;
+  comps.push_back(compare_shamir_reconstruct());
+  comps.push_back(compare_network_round());
+  comps.push_back(compare_payload_churn());
+
+  const char* path_env = std::getenv("BA_BENCH_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_micro.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  out << "{\n  \"schema\": \"ba.bench_micro.v1\",\n"
+      << "  \"smoke\": " << (smoke_mode() ? "true" : "false") << ",\n"
+      << "  \"comparisons\": [\n";
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    const auto& c = comps[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"params\": \"%s\", "
+                  "\"unit\": \"ns/op\", \"legacy\": %.1f, "
+                  "\"current\": %.1f, \"speedup\": %.2f}%s\n",
+                  c.name.c_str(), c.params.c_str(), c.legacy_ns, c.current_ns,
+                  c.speedup(), i + 1 < comps.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  out.close();
+  for (const auto& c : comps) {
+    std::printf("%-28s legacy %12.1f ns/op  current %12.1f ns/op  %6.2fx\n",
+                c.name.c_str(), c.legacy_ns, c.current_ns, c.speedup());
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace bench_micro
 }  // namespace ba
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return ba::bench_micro::write_comparison_json();
+}

@@ -1,0 +1,128 @@
+// Bench-only copies of the seed's hot-path implementations, kept verbatim
+// so BENCH_micro.json can report before/after numbers for the same build.
+// These are NOT used by the library — src/ holds the optimized versions —
+// and they must not be "improved": they are the measurement baseline.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/field.h"
+#include "crypto/shamir.h"
+#include "net/stats.h"
+
+namespace ba::legacy {
+
+// --- seed field reconstruction: O(m^2) products + m Fermat inverses per
+// word (src/common/field.cpp before the barycentric rework). ---
+inline Fp lagrange_at_zero(const std::vector<Fp>& xs,
+                           const std::vector<Fp>& ys) {
+  const std::size_t m = xs.size();
+  Fp acc(0);
+  for (std::size_t i = 0; i < m; ++i) {
+    Fp num(1);
+    Fp den(1);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      num *= Fp(0) - xs[j];
+      den *= xs[i] - xs[j];
+    }
+    acc += ys[i] * num * den.inverse();
+  }
+  return acc;
+}
+
+/// Seed ShamirScheme::reconstruct: fresh Lagrange interpolation per word.
+inline std::vector<Fp> shamir_reconstruct(
+    const std::vector<VectorShare>& shares, std::size_t shares_needed) {
+  const std::size_t m = shares_needed;
+  const std::size_t words = shares.front().ys.size();
+  std::vector<Fp> xs(m);
+  for (std::size_t i = 0; i < m; ++i) xs[i] = Fp(shares[i].x);
+  std::vector<Fp> secret(words);
+  std::vector<Fp> ys(m);
+  for (std::size_t w = 0; w < words; ++w) {
+    for (std::size_t i = 0; i < m; ++i) ys[i] = shares[i].ys[w];
+    secret[w] = legacy::lagrange_at_zero(xs, ys);
+  }
+  return secret;
+}
+
+// --- seed network: heap-allocating payloads, one global pending vector,
+// and a comparison stable_sort of every inbox every round
+// (src/net/{message,network}.{h,cpp} before the bucketed rework). ---
+
+struct Payload {
+  std::uint32_t tag = 0;
+  std::vector<std::uint64_t> words;
+  std::size_t content_bits = 0;
+  std::size_t bits() const { return content_bits + 16; }
+};
+
+inline Payload make_value_payload(std::uint32_t tag, std::uint64_t value,
+                                  std::size_t bits) {
+  Payload p;
+  p.tag = tag;
+  p.words = {value};
+  p.content_bits = bits;
+  return p;
+}
+
+struct Envelope {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  std::uint64_t round = 0;
+  Payload payload;
+};
+
+class Network {
+ public:
+  Network(std::size_t n, std::size_t max_corrupt)
+      : n_(n), max_corrupt_(max_corrupt), corrupt_(n, false), inboxes_(n),
+        ledger_(n) {
+    (void)max_corrupt_;
+  }
+
+  void send(std::uint32_t from, std::uint32_t to, Payload payload) {
+    ledger_.charge_send(from, payload.bits());
+    Envelope e;
+    e.from = from;
+    e.to = to;
+    e.round = round_;
+    e.payload = std::move(payload);
+    pending_.push_back(std::move(e));
+  }
+
+  void advance_round() {
+    for (auto& box : inboxes_) box.clear();
+    for (auto& e : pending_) {
+      ledger_.charge_recv(e.to, e.payload.bits());
+      inboxes_[e.to].push_back(std::move(e));
+    }
+    pending_.clear();
+    for (auto& box : inboxes_) {
+      std::stable_sort(box.begin(), box.end(),
+                       [](const Envelope& a, const Envelope& b) {
+                         return a.from < b.from;
+                       });
+    }
+    ++round_;
+  }
+
+  const std::vector<Envelope>& inbox(std::uint32_t p) const {
+    return inboxes_[p];
+  }
+  BitLedger& ledger() { return ledger_; }
+
+ private:
+  std::size_t n_;
+  std::size_t max_corrupt_;
+  std::uint64_t round_ = 0;
+  std::vector<bool> corrupt_;
+  std::vector<Envelope> pending_;
+  std::vector<std::vector<Envelope>> inboxes_;
+  BitLedger ledger_;
+};
+
+}  // namespace ba::legacy

@@ -46,4 +46,127 @@ Fp lagrange_at_zero(const std::vector<Fp>& xs, const std::vector<Fp>& ys) {
   return acc;
 }
 
+void batch_inverse(Fp* v, std::size_t n) {
+  if (n == 0) return;
+  // Montgomery's trick: prefix[i] = v[0] * ... * v[i]; invert the full
+  // product once, then peel inverses off the back.
+  std::vector<Fp> prefix(n);
+  Fp acc(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    BA_REQUIRE(!v[i].is_zero(), "zero has no multiplicative inverse");
+    acc *= v[i];
+    prefix[i] = acc;
+  }
+  Fp inv = acc.inverse();
+  for (std::size_t i = n; i-- > 1;) {
+    const Fp vi = v[i];
+    v[i] = inv * prefix[i - 1];
+    inv *= vi;
+  }
+  v[0] = inv;
+}
+
+std::vector<Fp> interpolate_coeffs(const std::vector<Fp>& xs,
+                                   const std::vector<Fp>& ys) {
+  BA_REQUIRE(!xs.empty() && xs.size() == ys.size(),
+             "need matching non-empty point vectors");
+  const std::size_t m = xs.size();
+  // All divided-difference denominators x_{i} - x_{i-k}, batched into one
+  // inversion. A zero denominator is a duplicated interpolation point.
+  std::vector<Fp> dens;
+  dens.reserve(m * (m - 1) / 2);
+  for (std::size_t k = 1; k < m; ++k)
+    for (std::size_t i = m; i-- > k;) {
+      const Fp d = xs[i] - xs[i - k];
+      BA_REQUIRE(!d.is_zero(), "interpolation points must be distinct");
+      dens.push_back(d);
+    }
+  batch_inverse(dens);
+  // Newton coefficients in place: a[i] = f[x_{i-k} .. x_i] at level k.
+  std::vector<Fp> a = ys;
+  std::size_t di = 0;
+  for (std::size_t k = 1; k < m; ++k)
+    for (std::size_t i = m; i-- > k;)
+      a[i] = (a[i] - a[i - 1]) * dens[di++];
+  // Expand Newton form to monomial coefficients (Horner over the nodes).
+  std::vector<Fp> out(m, Fp(0));
+  out[0] = a[m - 1];
+  std::size_t deg = 0;
+  for (std::size_t i = m - 1; i-- > 0;) {
+    // out = out * (x - xs[i]) + a[i]
+    out[deg + 1] = out[deg];
+    for (std::size_t c = deg; c >= 1; --c)
+      out[c] = out[c - 1] - xs[i] * out[c];
+    out[0] = a[i] - xs[i] * out[0];
+    ++deg;
+  }
+  return out;
+}
+
+BarycentricInterpolator::BarycentricInterpolator(std::vector<Fp> xs)
+    : xs_(std::move(xs)) {
+  BA_REQUIRE(!xs_.empty(), "need at least one interpolation point");
+  const std::size_t m = xs_.size();
+  // Barycentric weights w_i = 1 / prod_{j != i} (x_i - x_j).
+  w_.assign(m, Fp(1));
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == i) continue;
+      const Fp d = xs_[i] - xs_[j];
+      BA_REQUIRE(!d.is_zero(), "interpolation points must be distinct");
+      w_[i] *= d;
+    }
+  batch_inverse(w_);
+  // L_i(0) = w_i * prod_{j != i} (0 - x_j), with the products shared via
+  // prefix/suffix sweeps. A zero node degenerates to the indicator row.
+  zero_row_.assign(m, Fp(0));
+  std::size_t zero_at = m;
+  for (std::size_t i = 0; i < m; ++i)
+    if (xs_[i].is_zero()) zero_at = i;
+  if (zero_at != m) {
+    zero_row_[zero_at] = Fp(1);
+    return;
+  }
+  std::vector<Fp> suffix(m + 1, Fp(1));
+  for (std::size_t i = m; i-- > 0;)
+    suffix[i] = suffix[i + 1] * (Fp(0) - xs_[i]);
+  Fp prefix(1);
+  for (std::size_t i = 0; i < m; ++i) {
+    zero_row_[i] = w_[i] * prefix * suffix[i + 1];
+    prefix *= Fp(0) - xs_[i];
+  }
+}
+
+Fp BarycentricInterpolator::eval_at_zero(const std::vector<Fp>& ys) const {
+  return eval_row(zero_row_, ys);
+}
+
+std::vector<Fp> BarycentricInterpolator::row_at(Fp z) const {
+  const std::size_t m = xs_.size();
+  std::vector<Fp> row(m, Fp(0));
+  std::vector<Fp> diffs(m);
+  std::size_t node_at = m;
+  for (std::size_t i = 0; i < m; ++i) {
+    diffs[i] = z - xs_[i];
+    if (diffs[i].is_zero()) node_at = i;
+  }
+  if (node_at != m) {
+    row[node_at] = Fp(1);
+    return row;
+  }
+  Fp ell(1);  // ell(z) = prod_i (z - x_i)
+  for (const Fp& d : diffs) ell *= d;
+  batch_inverse(diffs);
+  for (std::size_t i = 0; i < m; ++i) row[i] = ell * w_[i] * diffs[i];
+  return row;
+}
+
+Fp BarycentricInterpolator::eval_row(const std::vector<Fp>& row,
+                                     const std::vector<Fp>& ys) {
+  BA_REQUIRE(row.size() == ys.size(), "row/value size mismatch");
+  Fp acc(0);
+  for (std::size_t i = 0; i < row.size(); ++i) acc += row[i] * ys[i];
+  return acc;
+}
+
 }  // namespace ba

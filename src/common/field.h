@@ -88,4 +88,55 @@ Fp poly_eval(const std::vector<Fp>& coeffs, Fp x);
 /// Requires distinct xs and xs.size() == ys.size() >= 1.
 Fp lagrange_at_zero(const std::vector<Fp>& xs, const std::vector<Fp>& ys);
 
+/// Montgomery batch inversion: replaces every v[i] with v[i]^-1 using
+/// 3(n-1) multiplications and a single Fermat exponentiation (instead of
+/// one ~90-multiplication exponentiation per element). Requires all
+/// entries non-zero.
+void batch_inverse(Fp* v, std::size_t n);
+inline void batch_inverse(std::vector<Fp>& v) { batch_inverse(v.data(), v.size()); }
+
+/// Monomial coefficients (constant term first, exactly xs.size() of them)
+/// of the unique polynomial of degree < xs.size() through (xs[i], ys[i]).
+/// Newton divided differences with one batched inversion for all
+/// denominators: O(m^2) multiplications, one Fermat exponentiation.
+/// Requires distinct xs and xs.size() == ys.size() >= 1.
+std::vector<Fp> interpolate_coeffs(const std::vector<Fp>& xs,
+                                   const std::vector<Fp>& ys);
+
+/// Lagrange interpolation over a *fixed* point set, amortized across many
+/// evaluations. Construction costs O(m^2) multiplications plus a single
+/// batched inversion; every subsequent evaluation at 0 is m multiplications
+/// and zero inversions. This is the reconstruction hot path: Shamir
+/// word-vector secrets share one point set across all words, so the seed's
+/// per-word O(m^2)-with-m-inverses `lagrange_at_zero` collapses to O(m).
+class BarycentricInterpolator {
+ public:
+  /// Requires distinct xs (throws std::logic_error otherwise), size >= 1.
+  explicit BarycentricInterpolator(std::vector<Fp> xs);
+
+  std::size_t size() const { return xs_.size(); }
+  const std::vector<Fp>& points() const { return xs_; }
+
+  /// The row of Lagrange basis values L_i(0); eval_at_zero is its dot
+  /// product with ys.
+  const std::vector<Fp>& zero_row() const { return zero_row_; }
+
+  /// p(0) for the interpolant through (xs[i], ys[i]). Exact match with
+  /// lagrange_at_zero(xs, ys). O(m) multiplications, no inversions.
+  Fp eval_at_zero(const std::vector<Fp>& ys) const;
+
+  /// The row of Lagrange basis values L_i(z): p(z) = sum_i row[i] * ys[i].
+  /// One batched inversion; reuse the row to verify many word-vectors
+  /// against the same redundant point. Handles z equal to a node exactly.
+  std::vector<Fp> row_at(Fp z) const;
+
+  /// Dot product helper: p(z) given a precomputed row from row_at.
+  static Fp eval_row(const std::vector<Fp>& row, const std::vector<Fp>& ys);
+
+ private:
+  std::vector<Fp> xs_;
+  std::vector<Fp> w_;         ///< barycentric weights 1 / prod_{j!=i}(x_i - x_j)
+  std::vector<Fp> zero_row_;  ///< L_i(0)
+};
+
 }  // namespace ba

@@ -8,34 +8,44 @@ std::optional<std::vector<Fp>> solve_linear(std::vector<std::vector<Fp>> a,
   BA_REQUIRE(b.size() == rows, "rhs size must match row count");
   const std::size_t cols = rows == 0 ? 0 : a[0].size();
 
+  // Fraction-free forward elimination: rows below the pivot are updated as
+  // row <- row * pivot - factor * pivot_row (scaling a row by a non-zero
+  // field element preserves the solution set), so no division happens in
+  // the O(n^3) loop. The pivots are inverted together afterwards — one
+  // Fermat exponentiation for the whole solve instead of one per row.
   std::vector<std::size_t> pivot_col_of_row;
+  std::vector<Fp> pivots;
   std::size_t row = 0;
   for (std::size_t col = 0; col < cols && row < rows; ++col) {
-    // Find a pivot in this column.
     std::size_t pr = row;
     while (pr < rows && a[pr][col].is_zero()) ++pr;
     if (pr == rows) continue;
     std::swap(a[pr], a[row]);
     std::swap(b[pr], b[row]);
-    const Fp inv = a[row][col].inverse();
-    for (std::size_t c = col; c < cols; ++c) a[row][c] *= inv;
-    b[row] *= inv;
-    for (std::size_t r = 0; r < rows; ++r) {
-      if (r == row || a[r][col].is_zero()) continue;
+    const Fp piv = a[row][col];
+    for (std::size_t r = row + 1; r < rows; ++r) {
+      if (a[r][col].is_zero()) continue;
       const Fp f = a[r][col];
-      for (std::size_t c = col; c < cols; ++c) a[r][c] -= f * a[row][c];
-      b[r] -= f * b[row];
+      for (std::size_t c = col; c < cols; ++c)
+        a[r][c] = a[r][c] * piv - f * a[row][c];
+      b[r] = b[r] * piv - f * b[row];
     }
     pivot_col_of_row.push_back(col);
+    pivots.push_back(piv);
     ++row;
   }
   // Inconsistency: a zero row with non-zero rhs.
   for (std::size_t r = row; r < rows; ++r)
     if (!b[r].is_zero()) return std::nullopt;
 
-  std::vector<Fp> z(cols, Fp(0));
-  for (std::size_t r = 0; r < pivot_col_of_row.size(); ++r)
-    z[pivot_col_of_row[r]] = b[r];
+  batch_inverse(pivots);
+  std::vector<Fp> z(cols, Fp(0));  // free variables stay zero
+  for (std::size_t r = pivot_col_of_row.size(); r-- > 0;) {
+    const std::size_t pc = pivot_col_of_row[r];
+    Fp s = b[r];
+    for (std::size_t c = pc + 1; c < cols; ++c) s -= a[r][c] * z[c];
+    z[pc] = s * pivots[r];
+  }
   return z;
 }
 
@@ -82,7 +92,23 @@ std::optional<std::vector<Fp>> berlekamp_welch(const std::vector<Fp>& xs,
     // Interpolate directly and verify all points agree.
     std::vector<Fp> pxs(xs.begin(), xs.begin() + degree + 1);
     std::vector<Fp> pys(ys.begin(), ys.begin() + degree + 1);
-    // Build coefficients by solving the Vandermonde system.
+    bool distinct = true;
+    for (std::size_t i = 0; i <= degree && distinct; ++i)
+      for (std::size_t j = i + 1; j <= degree; ++j)
+        if (pxs[i] == pxs[j]) {
+          distinct = false;
+          break;
+        }
+    if (distinct) {
+      // Newton interpolation: O(d^2) with one batched inversion, replacing
+      // the seed's O(d^3) Vandermonde solve with an inverse per pivot.
+      auto sol = interpolate_coeffs(pxs, pys);
+      for (std::size_t i = 0; i < m; ++i)
+        if (poly_eval(sol, xs[i]) != ys[i]) return std::nullopt;
+      return sol;
+    }
+    // Degenerate duplicated points: keep the rank-tolerant Vandermonde
+    // route so behavior on malformed inputs is unchanged.
     std::vector<std::vector<Fp>> a(degree + 1,
                                    std::vector<Fp>(degree + 1, Fp(0)));
     for (std::size_t r = 0; r <= degree; ++r) {
@@ -155,12 +181,44 @@ std::optional<std::vector<Fp>> robust_reconstruct(
     BA_REQUIRE(shares[i].ys.size() == words, "ragged share vectors");
     xs[i] = Fp(shares[i].x);
   }
+  // Fast-path precompute, once per point set instead of once per word:
+  // interpolate through the first t+1 points barycentrically and check
+  // every redundant point against a precomputed Lagrange row. Per word
+  // that is O(m * (m - t)) multiplications and zero inversions; only
+  // words that fail the check pay for the full decoder.
+  const std::size_t k = t + 1;
+  bool fast = true;
+  for (std::size_t i = 0; i < k && fast; ++i)
+    for (std::size_t j = i + 1; j < k; ++j)
+      if (xs[i] == xs[j]) {
+        fast = false;
+        break;
+      }
+  std::optional<BarycentricInterpolator> interp;
+  std::vector<std::vector<Fp>> check_rows;
+  if (fast) {
+    interp.emplace(std::vector<Fp>(xs.begin(), xs.begin() + k));
+    check_rows.reserve(m - k);
+    for (std::size_t i = k; i < m; ++i)
+      check_rows.push_back(interp->row_at(xs[i]));
+  }
+  std::vector<Fp> head(k);
   std::vector<Fp> secret(words);
   for (std::size_t w = 0; w < words; ++w) {
     for (std::size_t i = 0; i < m; ++i) ys[i] = shares[i].ys[w];
-    // Fast path: no errors (the common, honest case) — interpolate and
-    // verify; fall back to the full decoder only on inconsistency.
-    auto p = berlekamp_welch(xs, ys, t, 0);
+    bool clean = fast;
+    if (fast) {
+      std::copy(ys.begin(), ys.begin() + k, head.begin());
+      for (std::size_t i = 0; clean && i < check_rows.size(); ++i)
+        clean = BarycentricInterpolator::eval_row(check_rows[i], head) ==
+                ys[k + i];
+    }
+    if (clean) {
+      secret[w] = interp->eval_at_zero(head);
+      continue;
+    }
+    std::optional<std::vector<Fp>> p;
+    if (!fast) p = berlekamp_welch(xs, ys, t, 0);  // degenerate point set
     if (!p && max_errors > 0) p = berlekamp_welch(xs, ys, t, max_errors);
     if (!p) return std::nullopt;
     secret[w] = (*p)[0];

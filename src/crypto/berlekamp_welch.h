@@ -17,7 +17,8 @@
 
 namespace ba {
 
-/// Solve A z = b over GF(p) by Gaussian elimination. A is row-major
+/// Solve A z = b over GF(p) by fraction-free Gaussian elimination (one
+/// batched pivot inversion for the whole solve). A is row-major
 /// rows x cols; returns any solution (free variables set to zero) or
 /// nullopt if inconsistent.
 std::optional<std::vector<Fp>> solve_linear(std::vector<std::vector<Fp>> a,
@@ -34,7 +35,11 @@ std::optional<std::vector<Fp>> berlekamp_welch(const std::vector<Fp>& xs,
 
 /// Robust word-vector reconstruction: per word, run Berlekamp–Welch with
 /// the largest error budget the share count allows. Returns nullopt if any
-/// word fails to decode.
+/// word fails to decode. The no-error case (honest shares, the common one)
+/// is amortized across words: the interpolation and per-point verification
+/// rows are precomputed once for the shared point set, so a clean word
+/// costs O(m * (m - t)) multiplications and no inversions; only damaged
+/// words pay for the full decoder.
 std::optional<std::vector<Fp>> robust_reconstruct(
     const std::vector<VectorShare>& shares, std::size_t privacy_threshold);
 

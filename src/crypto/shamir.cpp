@@ -39,11 +39,14 @@ std::vector<Fp> ShamirScheme::reconstruct(
     BA_REQUIRE(shares[i].ys.size() == words, "ragged share vectors");
     xs[i] = Fp(shares[i].x);
   }
+  // One barycentric precompute for the shared point set, then O(m) per
+  // word — the seed paid O(m^2) products plus m Fermat inverses per word.
+  BarycentricInterpolator interp(std::move(xs));
   std::vector<Fp> secret(words);
   std::vector<Fp> ys(m);
   for (std::size_t w = 0; w < words; ++w) {
     for (std::size_t i = 0; i < m; ++i) ys[i] = shares[i].ys[w];
-    secret[w] = lagrange_at_zero(xs, ys);
+    secret[w] = interp.eval_at_zero(ys);
   }
   return secret;
 }

@@ -29,8 +29,10 @@ class Adversary {
 
   /// The rushing step: called each round after all good processors have
   /// queued their messages and before delivery. The adversary may read
-  /// net.pending_visible_to_adversary(), call net.corrupt(), and
-  /// net.send() from corrupted processors. Default: do nothing.
+  /// net.pending_visible_to_adversary() (resolving the PendingRef handles
+  /// with net.pending_envelope(); they stay valid while it injects), call
+  /// net.corrupt(), and net.send() from corrupted processors. Default: do
+  /// nothing.
   virtual void on_rush(Network& net, std::uint64_t round) {
     (void)net;
     (void)round;

@@ -10,7 +10,9 @@ Network::Network(std::size_t n, std::size_t max_corrupt)
     : n_(n),
       max_corrupt_(max_corrupt),
       corrupt_(n, false),
+      staging_(n),
       inboxes_(n),
+      sender_slot_(n, 0),
       ledger_(n) {
   BA_REQUIRE(n > 0, "network needs at least one processor");
   BA_REQUIRE(max_corrupt < n, "adversary cannot own every processor");
@@ -23,17 +25,25 @@ void Network::corrupt(ProcId p) {
              "adaptive corruption budget exhausted");
   corrupt_[p] = true;
   ++corrupt_count_;
+  // Envelopes already in flight that touch p just became visible; rebuild
+  // the visibility index lazily on the next adversary read.
+  if (!pending_log_.empty()) visible_dirty_ = true;
 }
 
 void Network::send(ProcId from, ProcId to, Payload payload) {
   BA_REQUIRE(from < n_ && to < n_, "processor id out of range");
   ledger_.charge_send(from, payload.bits());
-  Envelope e;
+  auto& bucket = staging_[to];
+  Envelope& e = bucket.emplace_back();
   e.from = from;
   e.to = to;
   e.round = round_;
   e.payload = std::move(payload);
-  pending_.push_back(std::move(e));
+  const PendingRef ref{to, static_cast<std::uint32_t>(bucket.size() - 1)};
+  pending_log_.push_back(ref);
+  if (corrupt_count_ != 0 && !visible_dirty_ &&
+      (corrupt_[from] || corrupt_[to]))
+    visible_.push_back(ref);
 }
 
 void Network::charge_bulk(ProcId from, ProcId to, std::size_t content_bits) {
@@ -43,28 +53,61 @@ void Network::charge_bulk(ProcId from, ProcId to, std::size_t content_bits) {
 }
 
 void Network::advance_round() {
-  for (auto& box : inboxes_) box.clear();
-  for (auto& e : pending_) {
-    ledger_.charge_recv(e.to, e.payload.bits());
-    inboxes_[e.to].push_back(std::move(e));
+  for (ProcId p = 0; p < n_; ++p) {
+    auto& in = inboxes_[p];
+    in.clear();
+    auto& stage = staging_[p];
+    if (stage.empty()) continue;
+    // One pass: charge receipts, count per-sender, detect sorted input.
+    touched_senders_.clear();
+    bool sorted = true;
+    ProcId prev = 0;
+    for (const Envelope& e : stage) {
+      ledger_.charge_recv(p, e.payload.bits());
+      if (sender_slot_[e.from]++ == 0) touched_senders_.push_back(e.from);
+      if (e.from < prev) sorted = false;
+      prev = e.from;
+    }
+    if (sorted) {
+      // Already in per-sender order (the common case: drivers iterate
+      // processors in id order) — swap buffers, zero copies.
+      in.swap(stage);
+    } else {
+      // Stable counting sort by sender id: bucket offsets from the touched
+      // senders only, then a single distribution pass. Replaces the seed's
+      // per-inbox comparison stable_sort (and its temp allocations).
+      std::sort(touched_senders_.begin(), touched_senders_.end());
+      std::uint32_t offset = 0;
+      for (ProcId s : touched_senders_) {
+        const std::uint32_t count = sender_slot_[s];
+        sender_slot_[s] = offset;
+        offset += count;
+      }
+      in.resize(stage.size());
+      for (Envelope& e : stage) in[sender_slot_[e.from]++] = std::move(e);
+    }
+    for (ProcId s : touched_senders_) sender_slot_[s] = 0;
+    stage.clear();
   }
-  pending_.clear();
-  // Deterministic per-inbox order (by sender id) so runs are reproducible;
-  // protocols that care about adversarial ordering sort/select themselves.
-  for (auto& box : inboxes_) {
-    std::stable_sort(box.begin(), box.end(),
-                     [](const Envelope& a, const Envelope& b) {
-                       return a.from < b.from;
-                     });
-  }
+  pending_log_.clear();
+  visible_.clear();
+  visible_dirty_ = false;
   ++round_;
 }
 
-std::vector<const Envelope*> Network::pending_visible_to_adversary() const {
-  std::vector<const Envelope*> out;
-  for (const auto& e : pending_)
-    if (corrupt_[e.from] || corrupt_[e.to]) out.push_back(&e);
-  return out;
+std::vector<PendingRef> Network::pending_visible_to_adversary() const {
+  if (visible_dirty_) {
+    // Replay the send log so the rebuilt view keeps global send order —
+    // identical to what incremental maintenance would have produced had
+    // the corruption happened before the round's first send.
+    visible_.clear();
+    for (const PendingRef& r : pending_log_) {
+      const Envelope& e = staging_[r.to][r.index];
+      if (corrupt_[e.from] || corrupt_[r.to]) visible_.push_back(r);
+    }
+    visible_dirty_ = false;
+  }
+  return visible_;
 }
 
 std::vector<ProcId> Network::good_procs() const {

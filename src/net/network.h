@@ -17,6 +17,15 @@
 //    is the protocol driver's job (see Adversary::on_corrupt hooks).
 //  * Flooding: corrupted processors may send unboundedly; receivers can
 //    bound processing with inbox caps at the protocol layer.
+//
+// Implementation notes (the per-round hot path): pending traffic is staged
+// in per-receiver buckets, so delivery is a per-bucket counting sort by
+// sender (stable, O(messages)) instead of the seed's global pending vector
+// plus a comparison `stable_sort` of every inbox every round. All round
+// storage (buckets, inboxes, counting scratch) is reused across rounds, so
+// steady-state rounds allocate nothing. The adversary's view is an
+// incrementally-maintained index of visible envelopes, rebuilt lazily only
+// when a mid-round corruption changes which envelopes are visible.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +35,15 @@
 #include "net/stats.h"
 
 namespace ba {
+
+/// Stable handle to a pending (undelivered) envelope. Unlike a raw
+/// pointer, a PendingRef stays valid while the rushing adversary injects
+/// more traffic via send() in the same round: it indexes into the
+/// receiver's staging bucket, which only ever grows within a round.
+struct PendingRef {
+  ProcId to = 0;
+  std::uint32_t index = 0;
+};
 
 class Network {
  public:
@@ -64,9 +82,20 @@ class Network {
   /// Messages delivered to p this round (sent during the previous round).
   const std::vector<Envelope>& inbox(ProcId p) const { return inboxes_[p]; }
 
-  /// Pending (not yet delivered) envelopes with a corrupted endpoint.
-  /// This is everything the rushing adversary is allowed to read mid-round.
-  std::vector<const Envelope*> pending_visible_to_adversary() const;
+  /// Pending (not yet delivered) envelopes with a corrupted endpoint, in
+  /// global send order. This is everything the rushing adversary is
+  /// allowed to read mid-round. Returned by value so the caller may keep
+  /// iterating while injecting; the handles themselves stay valid across
+  /// subsequent send() calls until the next advance_round(); dereference
+  /// them with pending_envelope().
+  std::vector<PendingRef> pending_visible_to_adversary() const;
+
+  /// Resolve a handle from pending_visible_to_adversary().
+  const Envelope& pending_envelope(PendingRef r) const {
+    BA_REQUIRE(r.to < n_ && r.index < staging_[r.to].size(),
+               "stale or out-of-range pending reference");
+    return staging_[r.to][r.index];
+  }
 
   BitLedger& ledger() { return ledger_; }
   const BitLedger& ledger() const { return ledger_; }
@@ -80,8 +109,19 @@ class Network {
   std::size_t corrupt_count_ = 0;
   std::uint64_t round_ = 0;
   std::vector<bool> corrupt_;
-  std::vector<Envelope> pending_;
+  std::vector<std::vector<Envelope>> staging_;  ///< per-receiver pending
   std::vector<std::vector<Envelope>> inboxes_;
+  // Counting-sort scratch, shared across receivers and reused every round.
+  std::vector<std::uint32_t> sender_slot_;
+  std::vector<ProcId> touched_senders_;
+  // All pending envelopes in global send order (storage reused across
+  // rounds); keeps the adversary's view deterministic when it has to be
+  // rebuilt after a mid-round corruption.
+  std::vector<PendingRef> pending_log_;
+  // Incremental index of envelopes with a corrupted endpoint; `dirty`
+  // when corrupt() may have made previously-hidden traffic visible.
+  mutable std::vector<PendingRef> visible_;
+  mutable bool visible_dirty_ = false;
   BitLedger ledger_;
 };
 

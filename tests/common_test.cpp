@@ -221,6 +221,123 @@ TEST(Lagrange, RejectsDuplicatePoints) {
   EXPECT_THROW(lagrange_at_zero(xs, ys), std::logic_error);
 }
 
+// ------------------------------------------------------- BatchInverse --
+
+TEST(BatchInverse, AgreesWithFermatInverse) {
+  Rng r(61);
+  for (std::size_t n : {1u, 2u, 3u, 7u, 64u, 257u}) {
+    std::vector<Fp> v(n);
+    for (auto& x : v) {
+      do {
+        x = Fp(r.next());
+      } while (x.is_zero());
+    }
+    auto expected = v;
+    for (auto& x : expected) x = x.inverse();
+    batch_inverse(v);
+    EXPECT_EQ(v, expected);
+  }
+}
+
+TEST(BatchInverse, RejectsZeroAnywhere) {
+  std::vector<Fp> v{Fp(3), Fp(0), Fp(5)};
+  EXPECT_THROW(batch_inverse(v), std::logic_error);
+  std::vector<Fp> empty;
+  batch_inverse(empty);  // vacuously fine
+}
+
+// -------------------------------------------------------- Barycentric --
+
+std::vector<Fp> distinct_points(Rng& r, std::size_t m) {
+  std::vector<Fp> xs;
+  std::set<std::uint64_t> seen;
+  while (xs.size() < m) {
+    Fp x(r.next());
+    if (seen.insert(x.value()).second) xs.push_back(x);
+  }
+  return xs;
+}
+
+TEST(Barycentric, MatchesLagrangeAtZeroOnRandomPointSets) {
+  Rng r(67);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t m = 1 + r.below(20);
+    auto xs = distinct_points(r, m);
+    std::vector<Fp> ys(m);
+    for (auto& y : ys) y = Fp(r.next());
+    BarycentricInterpolator interp(xs);
+    EXPECT_EQ(interp.eval_at_zero(ys), lagrange_at_zero(xs, ys));
+  }
+}
+
+TEST(Barycentric, ManyWordsShareOnePrecompute) {
+  // The reconstruction pattern: one point set, many word columns.
+  Rng r(71);
+  const std::size_t m = 33;
+  auto xs = distinct_points(r, m);
+  BarycentricInterpolator interp(xs);
+  for (int w = 0; w < 64; ++w) {
+    std::vector<Fp> ys(m);
+    for (auto& y : ys) y = Fp(r.next());
+    EXPECT_EQ(interp.eval_at_zero(ys), lagrange_at_zero(xs, ys));
+  }
+}
+
+TEST(Barycentric, RowAtMatchesPolynomialEvaluation) {
+  Rng r(73);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = 2 + r.below(10);
+    std::vector<Fp> coeffs(m);
+    for (auto& c : coeffs) c = Fp(r.next());
+    auto xs = distinct_points(r, m);
+    std::vector<Fp> ys(m);
+    for (std::size_t i = 0; i < m; ++i) ys[i] = poly_eval(coeffs, xs[i]);
+    BarycentricInterpolator interp(xs);
+    const Fp z(r.next());
+    auto row = interp.row_at(z);
+    EXPECT_EQ(BarycentricInterpolator::eval_row(row, ys), poly_eval(coeffs, z));
+    // Evaluating exactly at a node returns that node's value.
+    auto node_row = interp.row_at(xs[1]);
+    EXPECT_EQ(BarycentricInterpolator::eval_row(node_row, ys), ys[1]);
+  }
+}
+
+TEST(Barycentric, HandlesZeroAsInterpolationNode) {
+  // lagrange_at_zero degenerates to ys[k] when some x_k == 0; the
+  // precomputed row must agree exactly.
+  std::vector<Fp> xs{Fp(5), Fp(0), Fp(9)};
+  std::vector<Fp> ys{Fp(11), Fp(22), Fp(33)};
+  BarycentricInterpolator interp(xs);
+  EXPECT_EQ(interp.eval_at_zero(ys), Fp(22));
+  EXPECT_EQ(interp.eval_at_zero(ys), lagrange_at_zero(xs, ys));
+}
+
+TEST(Barycentric, RejectsAdversarialDuplicates) {
+  std::vector<Fp> dup{Fp(4), Fp(7), Fp(4)};
+  EXPECT_THROW(BarycentricInterpolator interp(dup), std::logic_error);
+  EXPECT_THROW(BarycentricInterpolator interp(std::vector<Fp>{}),
+               std::logic_error);
+}
+
+TEST(InterpolateCoeffs, RecoversPolynomialExactly) {
+  Rng r(79);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t m = 1 + r.below(12);
+    std::vector<Fp> coeffs(m);
+    for (auto& c : coeffs) c = Fp(r.next());
+    auto xs = distinct_points(r, m);
+    std::vector<Fp> ys(m);
+    for (std::size_t i = 0; i < m; ++i) ys[i] = poly_eval(coeffs, xs[i]);
+    EXPECT_EQ(interpolate_coeffs(xs, ys), coeffs);
+  }
+}
+
+TEST(InterpolateCoeffs, RejectsDuplicates) {
+  std::vector<Fp> xs{Fp(2), Fp(2)};
+  std::vector<Fp> ys{Fp(1), Fp(1)};
+  EXPECT_THROW(interpolate_coeffs(xs, ys), std::logic_error);
+}
+
 // -------------------------------------------------------------- Table --
 
 TEST(Table, RendersHeaderAndRows) {

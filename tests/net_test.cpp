@@ -87,8 +87,57 @@ TEST(Network, AdversarySeesOnlyCorruptEndpoints) {
   net.send(3, 2, make_value_payload(7, 3, 1));  // corrupt -> good: visible
   auto visible = net.pending_visible_to_adversary();
   ASSERT_EQ(visible.size(), 2u);
-  for (const auto* e : visible)
-    EXPECT_TRUE(net.is_corrupt(e->from) || net.is_corrupt(e->to));
+  for (const auto& r : visible) {
+    const Envelope& e = net.pending_envelope(r);
+    EXPECT_TRUE(net.is_corrupt(e.from) || net.is_corrupt(e.to));
+  }
+}
+
+TEST(Network, PendingRefsSurviveAdversarialInjection) {
+  // The rushing adversary reads its view and then injects; the handles it
+  // holds must stay valid (the seed returned raw pointers into a vector
+  // that reallocation invalidated).
+  Network net(8, 2);
+  net.corrupt(7);
+  net.send(0, 7, make_value_payload(1, 111, 8));
+  auto visible = net.pending_visible_to_adversary();
+  ASSERT_EQ(visible.size(), 1u);
+  const PendingRef held = visible[0];
+  // Inject enough traffic to force every staging bucket to reallocate.
+  for (int i = 0; i < 1000; ++i)
+    net.send(7, static_cast<ProcId>(i % 8), make_value_payload(2, i, 8));
+  EXPECT_EQ(net.pending_envelope(held).payload.words[0], 111u);
+  EXPECT_EQ(net.pending_envelope(held).from, 0u);
+}
+
+TEST(Network, MidRoundCorruptionRevealsPendingTraffic) {
+  // Adaptive takeover mid-round: traffic queued while an endpoint was
+  // still good becomes visible once that endpoint is corrupted.
+  Network net(4, 2);
+  net.send(0, 1, make_value_payload(7, 5, 4));  // good -> good: hidden
+  EXPECT_TRUE(net.pending_visible_to_adversary().empty());
+  net.corrupt(1);
+  auto visible = net.pending_visible_to_adversary();
+  ASSERT_EQ(visible.size(), 1u);
+  EXPECT_EQ(net.pending_envelope(visible[0]).payload.words[0], 5u);
+  // Incremental additions after the rebuild keep working, and the view
+  // stays in global send order even though a rebuild happened in between.
+  net.send(2, 1, make_value_payload(7, 6, 4));
+  auto after = net.pending_visible_to_adversary();
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(net.pending_envelope(after[0]).payload.words[0], 5u);
+  EXPECT_EQ(net.pending_envelope(after[1]).payload.words[0], 6u);
+}
+
+TEST(Network, VisibilityIndexResetsAcrossRounds) {
+  Network net(4, 1);
+  net.corrupt(3);
+  net.send(0, 3, make_value_payload(7, 1, 1));
+  EXPECT_EQ(net.pending_visible_to_adversary().size(), 1u);
+  net.advance_round();
+  EXPECT_TRUE(net.pending_visible_to_adversary().empty());
+  net.send(1, 3, make_value_payload(7, 2, 1));
+  EXPECT_EQ(net.pending_visible_to_adversary().size(), 1u);
 }
 
 TEST(Network, LedgerChargesSenderAndReceiver) {
@@ -142,6 +191,47 @@ TEST(Payload, BitAccounting) {
   EXPECT_EQ(words.bits(), 3 * kWordBits + kHeaderBits);
   Payload vote = make_value_payload(2, 1, 1);
   EXPECT_EQ(vote.bits(), 1 + kHeaderBits);
+}
+
+TEST(Payload, InlineAndHeapStorageAccountIdentically) {
+  // The small-buffer optimization must be invisible to the paper's bit
+  // ledger: a payload of w words costs the same whether the words sit in
+  // the inline buffer or spilled to the heap.
+  for (std::size_t w = 0; w <= 2 * WordVec::kInlineWords + 1; ++w) {
+    WordVec direct;
+    std::vector<std::uint64_t> reference;
+    for (std::size_t i = 0; i < w; ++i) {
+      direct.push_back(i + 1);
+      reference.push_back(i + 1);
+    }
+    Payload a = make_words_payload(9, std::move(direct));
+    Payload b = make_words_payload(9, WordVec(reference));
+    EXPECT_EQ(a.words.is_inline(), w <= WordVec::kInlineWords);
+    EXPECT_EQ(a.content_bits, b.content_bits);
+    EXPECT_EQ(a.bits(), b.bits());
+    EXPECT_EQ(a.bits(), w * kWordBits + kHeaderBits);
+    EXPECT_EQ(a.words, b.words);
+  }
+}
+
+TEST(WordVec, SpillsToHeapAndPreservesContents) {
+  WordVec v;
+  EXPECT_TRUE(v.is_inline());
+  for (std::uint64_t i = 0; i < 100; ++i) v.push_back(i * 3);
+  EXPECT_FALSE(v.is_inline());
+  ASSERT_EQ(v.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i * 3);
+  // Copy and move both preserve contents across the spill boundary.
+  WordVec copy = v;
+  WordVec moved = std::move(v);
+  EXPECT_EQ(copy, moved);
+  // Insert-at-end (the AEBA packing pattern) works inline and spilled.
+  WordVec small{7};
+  std::vector<std::uint64_t> tail{8, 9, 10};
+  small.insert(small.end(), tail.begin(), tail.end());
+  ASSERT_EQ(small.size(), 4u);
+  EXPECT_EQ(small[0], 7u);
+  EXPECT_EQ(small[3], 10u);
 }
 
 TEST(PassiveStaticAdversary, CorruptsItsSetOnly) {
