@@ -18,6 +18,8 @@
 
 #include "aeba/aeba_with_coins.h"
 #include "crypto/berlekamp_welch.h"
+#include "crypto/gao.h"
+#include "crypto/scheme_cache.h"
 #include "crypto/shamir.h"
 #include "net/network.h"
 #include "sampler/sampler.h"
@@ -245,6 +247,138 @@ Comparison compare_shamir_reconstruct() {
   return c;
 }
 
+Comparison compare_shamir_deal() {
+  // Acceptance target: >= 2x on dealing at n=4096-scale uplink parameters
+  // (d = 48 holders, t = d/4 per share_threshold_div, words = 64). The
+  // seed Horner-evaluated every word at every point with the scheme
+  // rebuilt per dealing; the cached path is one blocked Vandermonde
+  // product per dealing.
+  constexpr std::size_t kShares = 48, kThreshold = 12, kWords = 64;
+  Rng rng(2001);
+  std::vector<Fp> secret(kWords);
+  for (auto& w : secret) w = Fp(rng.next());
+  SchemeCache cache;
+  const CachedScheme& scheme = cache.scheme(kShares, kThreshold);
+  // Sanity: identical Rng state must produce identical shares.
+  {
+    Rng a(7), b(7);
+    auto l = legacy::shamir_deal(secret, kShares, kThreshold, a);
+    auto c = scheme.deal(secret, b);
+    for (std::size_t i = 0; i < kShares; ++i)
+      BA_REQUIRE(l[i].ys == c[i].ys, "legacy and cached dealing disagree");
+  }
+  Comparison c;
+  c.name = "shamir_vector_deal";
+  c.params = "shares=48 threshold=12 words=64";
+  {
+    Rng r(8);
+    c.legacy_ns = time_ns_per_op([&] {
+      auto shares = legacy::shamir_deal(secret, kShares, kThreshold, r);
+      benchmark::DoNotOptimize(shares);
+    });
+  }
+  {
+    Rng r(8);
+    std::vector<VectorShare> out;
+    c.current_ns = time_ns_per_op([&] {
+      scheme.deal_into(secret, r, out);
+      benchmark::DoNotOptimize(out);
+    });
+  }
+  return c;
+}
+
+Comparison compare_damaged_word_decode() {
+  // Acceptance target: >= 2x on beyond-fast-path decoding. 5 of 48 shares
+  // fully corrupted (budget is (48 - 13) / 2 = 17): every word takes the
+  // damaged path. Seed: fresh Berlekamp–Welch system build + Gaussian
+  // solve per word. Current: shared-point-set Gao context, O(m^2) per
+  // word, cached across calls by the SchemeCache.
+  constexpr std::size_t kShares = 48, kThreshold = 12, kWords = 64;
+  Rng rng(3001);
+  ShamirScheme scheme(kShares, kThreshold);
+  std::vector<Fp> secret(kWords);
+  for (auto& w : secret) w = Fp(rng.next());
+  auto shares = scheme.deal(secret, rng);
+  auto bad = rng.sample_without_replacement(kShares, 5);
+  for (auto b : bad)
+    for (auto& y : shares[b].ys) y = Fp(rng.next());
+  SchemeCache cache;
+  std::vector<Fp> xs(kShares);
+  for (std::size_t i = 0; i < kShares; ++i) xs[i] = Fp(shares[i].x);
+  // Sanity: both decoders must recover the dealt secret.
+  BA_REQUIRE(legacy::robust_reconstruct_damaged(shares, kThreshold) ==
+                 std::optional<std::vector<Fp>>(secret),
+             "legacy damaged decode failed");
+  BA_REQUIRE(cache.robust(xs, kThreshold).reconstruct(shares) ==
+                 std::optional<std::vector<Fp>>(secret),
+             "current damaged decode failed");
+  Comparison c;
+  c.name = "damaged_word_decode";
+  c.params = "shares=48 threshold=12 words=64 corrupt_shares=5";
+  c.legacy_ns = time_ns_per_op([&] {
+    auto rec = legacy::robust_reconstruct_damaged(shares, kThreshold);
+    benchmark::DoNotOptimize(rec);
+  });
+  c.current_ns = time_ns_per_op([&] {
+    auto rec = cache.robust(xs, kThreshold).reconstruct(shares);
+    benchmark::DoNotOptimize(rec);
+  });
+  return c;
+}
+
+Comparison compare_tagged_inbox_scan() {
+  // Acceptance target: >= 2x on per-tag tally loops at n = 4096. Four
+  // protocol tags multiplexed over one round (the tournament's steady
+  // state); the tally walks one tag's envelopes per receiver. Seed:
+  // whole-inbox filter scan. Current: per-(receiver, tag) span index
+  // built during delivery.
+  constexpr std::size_t kN = 4096, kFanout = 8, kTags = 4;
+  Network net(kN, kN / 3);
+  legacy::Network lnet(kN, kN / 3);
+  for (std::size_t p = 0; p < kN; ++p) {
+    for (std::size_t j = 0; j < kFanout; ++j) {
+      const auto to =
+          static_cast<std::uint32_t>((p * 2654435761u + 977u * j) % kN);
+      for (std::uint32_t tg = 0; tg < kTags; ++tg) {
+        net.send(static_cast<ProcId>(p), to,
+                 make_value_payload(100 + tg, p + tg, kWordBits));
+        lnet.send(static_cast<std::uint32_t>(p), to,
+                  legacy::make_value_payload(100 + tg, p + tg, kWordBits));
+      }
+    }
+  }
+  net.advance_round();
+  lnet.advance_round();
+  const auto legacy_tally = [&] {
+    std::uint64_t acc = 0;
+    for (std::uint32_t p = 0; p < kN; ++p)
+      for (const auto& env : lnet.inbox(p))
+        if (env.payload.tag == 102) acc += env.payload.words[0];
+    return acc;
+  };
+  const auto current_tally = [&] {
+    std::uint64_t acc = 0;
+    for (ProcId p = 0; p < kN; ++p)
+      for (const auto& env : net.inbox(p, 102)) acc += env.payload.words[0];
+    return acc;
+  };
+  BA_REQUIRE(legacy_tally() == current_tally(),
+             "legacy and tagged tallies disagree");
+  Comparison c;
+  c.name = "tagged_inbox_scan";
+  c.params = "n=4096 fanout=8 tags=4";
+  c.legacy_ns = time_ns_per_op([&] {
+    auto acc = legacy_tally();
+    benchmark::DoNotOptimize(acc);
+  });
+  c.current_ns = time_ns_per_op([&] {
+    auto acc = current_tally();
+    benchmark::DoNotOptimize(acc);
+  });
+  return c;
+}
+
 Comparison compare_network_round() {
   // Acceptance target: >= 2x on per-round delivery at n = 4096. Senders
   // fire in a scrambled order (as they do once the rushing adversary
@@ -316,8 +450,11 @@ Comparison compare_payload_churn() {
 int write_comparison_json() {
   std::vector<Comparison> comps;
   comps.push_back(compare_shamir_reconstruct());
+  comps.push_back(compare_shamir_deal());
+  comps.push_back(compare_damaged_word_decode());
   comps.push_back(compare_network_round());
   comps.push_back(compare_payload_churn());
+  comps.push_back(compare_tagged_inbox_scan());
 
   const char* path_env = std::getenv("BA_BENCH_JSON");
   const std::string path = path_env != nullptr ? path_env : "BENCH_micro.json";

@@ -42,8 +42,8 @@ BaselineResult run_benor_ba(Network& net, Adversary& adversary,
   auto tally = [&](ProcId p, std::uint32_t tag, std::size_t values,
                    std::vector<std::size_t>& counts) {
     counts.assign(values, 0);
-    for (const auto& env : net.inbox(p)) {
-      if (env.payload.tag != tag || env.payload.words.empty()) continue;
+    for (const auto& env : net.inbox(p, tag)) {
+      if (env.payload.words.empty()) continue;
       counts[env.payload.words[0] % values] += 1;
     }
   };

@@ -65,7 +65,7 @@ ProcessorElectionResult ProcessorElectionBA::run(
       const auto& members = tree.node(lvl, ni).members;
       for (std::size_t c = 0; c < cs.size(); ++c)
         for (ProcId m : members)
-          net.charge_bulk(cs[c], m, ep.bits_per_bin());
+          net.charge_batch(cs[c], m, ep.bits_per_bin());
       auto widx = lightest_bin_winners(bins, ep);
       for (auto wi : widx) winners_per_node[ni].push_back(cs[wi]);
     }
@@ -124,9 +124,8 @@ ProcessorElectionResult ProcessorElectionBA::run(
   std::vector<std::uint8_t> out(n, 0);
   for (ProcId q = 0; q < n; ++q) {
     std::size_t votes = 0, ones = 0;
-    for (const auto& env : net.inbox(q)) {
-      if (env.payload.tag != kTagDecision || env.payload.words.empty())
-        continue;
+    for (const auto& env : net.inbox(q, kTagDecision)) {
+      if (env.payload.words.empty()) continue;
       ++votes;
       ones += env.payload.words[0] & 1;
     }

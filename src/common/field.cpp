@@ -46,6 +46,31 @@ Fp lagrange_at_zero(const std::vector<Fp>& xs, const std::vector<Fp>& ys) {
   return acc;
 }
 
+std::optional<std::vector<Fp>> poly_divide_exact(std::vector<Fp> num,
+                                                 const std::vector<Fp>& den) {
+  // Trim leading zeros of den.
+  std::size_t dd = den.size();
+  while (dd > 0 && den[dd - 1].is_zero()) --dd;
+  if (dd == 0) return std::nullopt;  // division by zero polynomial
+  if (num.size() < dd) {
+    // num must be the zero polynomial for exactness.
+    for (const Fp& c : num)
+      if (!c.is_zero()) return std::nullopt;
+    return std::vector<Fp>{Fp(0)};
+  }
+  const Fp lead_inv = den[dd - 1].inverse();
+  std::vector<Fp> quot(num.size() - dd + 1, Fp(0));
+  for (std::size_t qi = quot.size(); qi-- > 0;) {
+    const Fp coef = num[qi + dd - 1] * lead_inv;
+    quot[qi] = coef;
+    if (coef.is_zero()) continue;
+    for (std::size_t j = 0; j < dd; ++j) num[qi + j] -= coef * den[j];
+  }
+  for (const Fp& c : num)
+    if (!c.is_zero()) return std::nullopt;  // non-zero remainder
+  return quot;
+}
+
 void batch_inverse(Fp* v, std::size_t n) {
   if (n == 0) return;
   // Montgomery's trick: prefix[i] = v[0] * ... * v[i]; invert the full

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/check.h"
@@ -87,6 +88,12 @@ Fp poly_eval(const std::vector<Fp>& coeffs, Fp x);
 /// Lagrange interpolation at x = 0 from points (xs[i], ys[i]).
 /// Requires distinct xs and xs.size() == ys.size() >= 1.
 Fp lagrange_at_zero(const std::vector<Fp>& xs, const std::vector<Fp>& ys);
+
+/// Divide polynomial num by den (coefficients constant-term first).
+/// Returns the quotient iff the division is exact (zero remainder),
+/// nullopt otherwise or when den is the zero polynomial.
+std::optional<std::vector<Fp>> poly_divide_exact(std::vector<Fp> num,
+                                                 const std::vector<Fp>& den);
 
 /// Montgomery batch inversion: replaces every v[i] with v[i]^-1 using
 /// 3(n-1) multiplications and a single Fermat exponentiation (instead of

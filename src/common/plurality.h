@@ -1,0 +1,63 @@
+// Sort-based plurality (mode) counting for tally loops.
+//
+// Node-level majorities are the paper's substitute for verifiable sharing
+// (sendOpen, Section 3.2.3; sequence assessment, Section 3.5), so
+// plurality counts sit on hot per-(member, word) paths. The seed recounted
+// with an O(k^2) nested loop per query; this counter sorts once per query
+// — O(k log k) — and scans runs, with the exact tie-break the naive loop
+// had: among values with the maximal count, the one whose *first
+// occurrence* came earliest wins. (The unordered_map variant some call
+// sites used instead had a hash-order-dependent tie-break; this one is
+// deterministic by construction.)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ba {
+
+/// Reusable plurality counter over 64-bit values (field words are fed via
+/// Fp::value()). add() values between clear()s, then take winner().
+/// Storage is reused across queries — no steady-state allocation.
+class PluralityCounter {
+ public:
+  void clear() { items_.clear(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+  void add(std::uint64_t value) {
+    items_.emplace_back(value, static_cast<std::uint32_t>(items_.size()));
+  }
+
+  /// The most frequent value; ties go to the value first added. Returns 0
+  /// on an empty counter (the seed's convention for empty tallies).
+  /// Sorts in place: add()s after winner() start a fresh query via clear().
+  std::uint64_t winner() {
+    if (items_.empty()) return 0;
+    std::sort(items_.begin(), items_.end());
+    std::uint64_t best = items_[0].first;
+    std::size_t best_count = 0;
+    std::uint32_t best_first = 0;
+    std::size_t run = 0;
+    for (std::size_t i = 0; i <= items_.size(); ++i) {
+      if (i < items_.size() && items_[i].first == items_[run].first) continue;
+      const std::size_t count = i - run;
+      const std::uint32_t first = items_[run].second;  // min index: sorted
+      if (count > best_count ||
+          (count == best_count && first < best_first)) {
+        best_count = count;
+        best_first = first;
+        best = items_[run].first;
+      }
+      run = i;
+    }
+    return best;
+  }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> items_;
+};
+
+}  // namespace ba

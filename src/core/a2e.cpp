@@ -80,7 +80,7 @@ A2EResult AlmostToEverywhere::run(
         for (std::size_t s = 0; s < rpl; ++s) {
           const auto q = static_cast<std::uint32_t>(rng_.below(n));
           tgt[i * rpl + s] = q;
-          net.charge_bulk(p, q, label_bits);
+          net.charge_batch(p, q, label_bits);
           incoming[q].push_back({p, static_cast<std::uint32_t>(i)});
         }
       }
@@ -94,7 +94,7 @@ A2EResult AlmostToEverywhere::run(
       std::unordered_map<std::uint64_t, std::size_t> pair_count;
       for (const auto& f : flood) {
         BA_REQUIRE(net.is_corrupt(f.from), "only corrupt procs flood");
-        net.charge_bulk(f.from, f.to, label_bits);
+        net.charge_batch(f.from, f.to, label_bits);
         const std::uint64_t key =
             (static_cast<std::uint64_t>(f.from) << 32) | f.to;
         if (++pair_count[key] > params_.per_sender_cap) continue;
@@ -115,7 +115,7 @@ A2EResult AlmostToEverywhere::run(
           if (net.is_corrupt(in.from)) continue;
           auto r = attacker->respond(q, in.from, in.label, k_known, truth_m);
           if (!r) continue;
-          net.charge_bulk(q, in.from, kWordBits + label_bits);
+          net.charge_batch(q, in.from, kWordBits + label_bits);
           responses[in.from].push_back({in.label, *r});
         }
         continue;
@@ -131,7 +131,7 @@ A2EResult AlmostToEverywhere::run(
       }
       for (const auto& in : incoming[q]) {
         if (in.label != kq) continue;
-        net.charge_bulk(q, in.from, kWordBits + label_bits);
+        net.charge_batch(q, in.from, kWordBits + label_bits);
         responses[in.from].push_back({in.label, result.message[q]});
       }
     }

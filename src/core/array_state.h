@@ -18,6 +18,7 @@
 
 #include "common/check.h"
 #include "common/field.h"
+#include "common/rng.h"
 
 namespace ba {
 
@@ -55,6 +56,16 @@ struct ShareRec {
   std::uint32_t holder_pos = 0;
   std::vector<Fp> ys;
 };
+
+/// Overwrite a share-record value vector with `words` adversarial garbage
+/// words drawn from `rng` — the wire image of a lying holder. The single
+/// definition for every corruption site in the share pipeline (the draws,
+/// and hence fixed-seed runs, are order-sensitive: callers preserve the
+/// seed's draw order by corrupting in the same loop positions).
+inline void fill_garbage(std::vector<Fp>& ys, std::size_t words, Rng& rng) {
+  ys.resize(words);
+  for (auto& y : ys) y = Fp(rng.next());
+}
 
 /// A candidate array's protocol state: where its shares currently live and
 /// (for instrumentation only — never read by the protocol itself) the

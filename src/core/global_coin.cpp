@@ -1,24 +1,18 @@
 #include "core/global_coin.h"
 
-#include <unordered_map>
+#include "common/plurality.h"
 
 namespace ba {
 
 std::uint64_t sequence_plurality(const AeResult& ae, std::size_t idx,
                                  const std::vector<bool>& corrupt) {
   BA_REQUIRE(idx < ae.seq_views.size(), "sequence index out of range");
-  std::unordered_map<std::uint64_t, std::size_t> counts;
+  // Sort-based count with a deterministic tie-break (first good processor
+  // wins); the seed's unordered_map tally had a hash-order tie-break.
+  PluralityCounter tally;
   for (std::size_t p = 0; p < ae.seq_views[idx].size(); ++p)
-    if (!corrupt[p]) ++counts[ae.seq_views[idx][p]];
-  std::uint64_t best = 0;
-  std::size_t best_count = 0;
-  for (const auto& [v, c] : counts) {
-    if (c > best_count) {
-      best_count = c;
-      best = v;
-    }
-  }
-  return best;
+    if (!corrupt[p]) tally.add(ae.seq_views[idx][p]);
+  return tally.winner();
 }
 
 double sequence_agreement(const AeResult& ae, std::size_t idx,

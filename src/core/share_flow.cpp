@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/plurality.h"
+
 namespace ba {
 
 namespace {
@@ -15,23 +17,6 @@ std::uint32_t chain_pos(const TournamentTree& tree, Chain c,
   for (std::size_t i = 1; i < len; ++i)
     pos = tree.uplinks(i).at(pos)[chain_elem(c, i) - 1];
   return pos;
-}
-
-/// Per-word plurality over (value, count) pairs; garbage values are random
-/// 61-bit words so accidental collisions are negligible.
-Fp plurality(const std::vector<Fp>& values) {
-  Fp best = values.empty() ? Fp(0) : values[0];
-  std::size_t best_count = 0;
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    std::size_t count = 0;
-    for (const Fp& v : values)
-      if (v == values[i]) ++count;
-    if (count > best_count) {
-      best_count = count;
-      best = values[i];
-    }
-  }
-  return best;
 }
 
 }  // namespace
@@ -50,20 +35,16 @@ std::vector<ShareRec> ShareFlow::deal_to_leaf(ProcId owner,
   if (silent(owner)) return recs;  // crashed dealer: nobody gets anything
   recs.resize(k1);
   std::vector<VectorShare> shares;
-  if (!lying(owner)) {
-    ShamirScheme scheme(k1, t1);
-    shares = scheme.deal(words, rng_);
-  }
+  if (!lying(owner)) shares = cache_.scheme(k1, t1).deal(words, rng_);
   for (std::size_t pos = 0; pos < k1; ++pos) {
     recs[pos].chain = chain_root(static_cast<std::uint16_t>(pos));
     recs[pos].holder_pos = static_cast<std::uint32_t>(pos);
     if (lying(owner)) {
-      recs[pos].ys.resize(words.size());
-      for (auto& y : recs[pos].ys) y = garbage();
+      fill_garbage(recs[pos].ys, words.size(), rng_);
     } else {
       recs[pos].ys = std::move(shares[pos].ys);
     }
-    net_.charge_bulk(owner, leaf.members[pos], words.size() * kWordBits);
+    net_.charge_batch(owner, leaf.members[pos], words.size() * kWordBits);
   }
   return recs;
 }
@@ -83,31 +64,31 @@ void ShareFlow::send_secret_up(
 
   std::vector<ShareRec> next;
   next.reserve(a.recs.size() * d);
-  ShamirScheme scheme(d, t);
+  const CachedScheme& scheme = cache_.scheme(d, t);
+  std::vector<VectorShare> dealt;  // reused per record
+  std::vector<Fp> slice;
   for (const ShareRec& rec : a.recs) {
     const ProcId holder = c_node.members[rec.holder_pos];
     const bool corrupt = net_.is_corrupt(holder);
     if (silent(holder)) continue;
     if (!corrupt && !holder_forwards(rec.holder_pos)) continue;
     BA_REQUIRE(drop <= rec.ys.size(), "offset beyond stored words");
-    std::vector<Fp> slice(rec.ys.begin() + drop, rec.ys.end());
+    slice.assign(rec.ys.begin() + drop, rec.ys.end());
 
-    std::vector<VectorShare> dealt;
     if (lying(holder)) {
       dealt.resize(d);
       for (std::size_t i = 0; i < d; ++i) {
         dealt[i].x = static_cast<std::uint32_t>(i + 1);
-        dealt[i].ys.resize(slice.size());
-        for (auto& y : dealt[i].ys) y = garbage();
+        fill_garbage(dealt[i].ys, slice.size(), rng_);
       }
     } else {
-      dealt = scheme.deal(slice, rng_);
+      scheme.deal_into(slice, rng_, dealt);
     }
     const auto& targets = up.at(rec.holder_pos);
     for (std::size_t i = 0; i < d; ++i) {
       const std::uint32_t target_pos = targets[i];
-      net_.charge_bulk(holder, p_node.members[target_pos],
-                       slice.size() * kWordBits);
+      net_.charge_batch(holder, p_node.members[target_pos],
+                        slice.size() * kWordBits);
       ShareRec nr;
       nr.chain = chain_extend(rec.chain, a.level,
                               static_cast<std::uint16_t>(i + 1));
@@ -156,6 +137,7 @@ LeafViews ShareFlow::send_down(const ArrayState& a, std::size_t w0,
     frontier.emplace_back(a.node_idx, std::move(start));
   }
 
+  std::vector<Fp> xs;  // per-group point scratch for the decoder lookup
   for (std::size_t m = a.level; m >= 2; --m) {
     const std::size_t d_deal = tree_.uplinks(m - 1).degree();
     const std::size_t t = params_.privacy_threshold(d_deal);
@@ -171,8 +153,7 @@ LeafViews ShareFlow::send_down(const ArrayState& a, std::size_t w0,
         if (silent(sender)) {
           dropped[ri] = true;
         } else if (lying(sender)) {
-          sent[ri].resize(nwords);
-          for (auto& y : sent[ri]) y = garbage();
+          fill_garbage(sent[ri], nwords, rng_);
         } else {
           sent[ri] = recs[ri].ys;
         }
@@ -190,15 +171,18 @@ LeafViews ShareFlow::send_down(const ArrayState& a, std::size_t w0,
       decoded.reserve(groups.size());
       for (auto& [pc, shares] : groups) {
         if (shares.size() < t + 1) continue;  // not enough survived
-        auto value = robust_reconstruct(shares, t);
+        xs.resize(shares.size());
+        for (std::size_t i = 0; i < shares.size(); ++i)
+          xs[i] = Fp(shares[i].x);
+        auto value = cache_.robust(xs, t).reconstruct(shares);
         DownRec dr;
         dr.chain = pc;
         dr.holder_pos = chain_pos(tree_, pc, m - 1);
         if (value) {
           dr.ys = std::move(*value);
         } else {
-          dr.ys.resize(nwords);  // undecodable: the holder ends up with junk
-          for (auto& y : dr.ys) y = garbage();
+          // Undecodable: the holder ends up with junk.
+          fill_garbage(dr.ys, nwords, rng_);
         }
         decoded.push_back(std::move(dr));
       }
@@ -211,8 +195,8 @@ LeafViews ShareFlow::send_down(const ArrayState& a, std::size_t w0,
           const ProcId sender = c_node.members[recs[ri].holder_pos];
           const std::uint32_t rpos =
               chain_pos(tree_, chain_parent(recs[ri].chain, m), m - 1);
-          net_.charge_bulk(sender, d_node.members[rpos],
-                           nwords * kWordBits);
+          net_.charge_batch(sender, d_node.members[rpos],
+                            nwords * kWordBits);
         }
         next.emplace_back(child, decoded);
       }
@@ -233,18 +217,21 @@ LeafViews ShareFlow::send_down(const ArrayState& a, std::size_t w0,
       VectorShare vs;
       vs.x = static_cast<std::uint32_t>(chain_elem(rec.chain, 0) + 1);
       if (lying(sender)) {
-        vs.ys.resize(nwords);
-        for (auto& y : vs.ys) y = garbage();
+        fill_garbage(vs.ys, nwords, rng_);
       } else {
         vs.ys = rec.ys;
       }
       for (std::size_t pos = 0; pos < leaf.members.size(); ++pos)
-        net_.charge_bulk(sender, leaf.members[pos], nwords * kWordBits);
+        net_.charge_batch(sender, leaf.members[pos], nwords * kWordBits);
       shares.push_back(std::move(vs));
     }
     std::vector<Fp> secret;
     if (shares.size() >= t1 + 1) {
-      if (auto v = robust_reconstruct(shares, t1)) secret = std::move(*v);
+      xs.resize(shares.size());
+      for (std::size_t i = 0; i < shares.size(); ++i)
+        xs[i] = Fp(shares[i].x);
+      if (auto v = cache_.robust(xs, t1).reconstruct(shares))
+        secret = std::move(*v);
     }
     const std::size_t rel = leaf_idx - top.leaf_begin;
     for (std::size_t pos = 0; pos < leaf.members.size(); ++pos) {
@@ -262,27 +249,49 @@ MemberViews ShareFlow::send_open(std::size_t level, std::size_t node_idx,
   const TreeNode& node = tree_.node(level, node_idx);
   const std::size_t nwords = views.nwords();
   MemberViews out(node.members.size(), nwords);
-  std::vector<Fp> node_versions;
-  std::vector<Fp> leaf_values;
+  // The surviving (leaf, member) sender set, each sender's lying flag, and
+  // the ledger charges depend only on identities, not on words — computed
+  // once per receiver (the seed re-walked every leaf member per word and
+  // recounted pluralities with an O(k^2) nested loop).
+  struct LeafSender {
+    std::uint32_t leaf_rel;     ///< leaf index relative to views
+    std::uint32_t member_idx;   ///< member position within the leaf
+    bool lies;
+  };
+  std::vector<LeafSender> senders;       // flattened per receiver
+  std::vector<std::uint32_t> leaf_ends;  // prefix ends into `senders`
+  PluralityCounter leaf_tally, node_tally;
   for (std::size_t pos = 0; pos < node.members.size(); ++pos) {
     const ProcId receiver = node.members[pos];
-    for (std::size_t w = 0; w < nwords; ++w) {
-      node_versions.clear();
-      for (std::uint32_t leaf_abs : node.ell[pos]) {
-        const TreeNode& leaf = tree_.node(1, leaf_abs);
-        const std::size_t rel = leaf_abs - views.leaf_begin();
-        leaf_values.clear();
-        for (std::size_t i = 0; i < leaf.members.size(); ++i) {
-          const ProcId sender = leaf.members[i];
-          if (silent(sender)) continue;
-          if (w == 0)  // one message carries all words
-            net_.charge_bulk(sender, receiver, nwords * kWordBits);
-          leaf_values.push_back(lying(sender) ? garbage()
-                                              : views.at(rel, i, w));
-        }
-        node_versions.push_back(plurality(leaf_values));
+    senders.clear();
+    leaf_ends.clear();
+    for (std::uint32_t leaf_abs : node.ell[pos]) {
+      const TreeNode& leaf = tree_.node(1, leaf_abs);
+      const auto rel =
+          static_cast<std::uint32_t>(leaf_abs - views.leaf_begin());
+      for (std::size_t i = 0; i < leaf.members.size(); ++i) {
+        const ProcId sender = leaf.members[i];
+        if (silent(sender)) continue;
+        net_.charge_batch(sender, receiver, nwords * kWordBits);
+        senders.push_back(
+            {rel, static_cast<std::uint32_t>(i), lying(sender)});
       }
-      out.set(pos, w, plurality(node_versions));
+      leaf_ends.push_back(static_cast<std::uint32_t>(senders.size()));
+    }
+    for (std::size_t w = 0; w < nwords; ++w) {
+      node_tally.clear();
+      std::size_t si = 0;
+      for (const std::uint32_t end : leaf_ends) {
+        leaf_tally.clear();
+        for (; si < end; ++si) {
+          const LeafSender& s = senders[si];
+          leaf_tally.add(s.lies
+                             ? garbage().value()
+                             : views.at(s.leaf_rel, s.member_idx, w).value());
+        }
+        node_tally.add(leaf_tally.winner());
+      }
+      out.set(pos, w, Fp(node_tally.winner()));
     }
   }
   return out;

@@ -13,8 +13,21 @@
 //    ell-links; each node member takes a per-word majority within each
 //    linked leaf node, then across its linked leaf nodes.
 //
-// All traffic is charged to the BitLedger via Network::charge_bulk; round
-// costs are advanced by the orchestrator (one network round per tree hop).
+// All traffic is charged to the BitLedger via Network::charge_batch — the
+// per-(sender, round) batched accounting path (share flows are exactly the
+// same-sender fan-out loops it is built for); round costs are advanced by
+// the orchestrator (one network round per tree hop).
+//
+// Crypto goes through a per-flow SchemeCache (crypto/scheme_cache.h): the
+// (k1, t1) leaf scheme and the (d_up, t_up) uplink scheme are built once
+// and deal via their precomputed Vandermonde matrices, and sendDown's
+// recombinations reuse a RobustDecoder per (point set, threshold) — the
+// barycentric fast-path precompute survives across dealing groups, levels
+// and exposure batches instead of being rebuilt per call. Damaged words
+// decode via Gao's O(m^2) extended-Euclid decoder. Corruption draws are
+// centralised in fill_garbage (core/array_state.h); all paths keep the
+// seed's Rng draw order, so fixed-seed runs are byte-identical to the
+// pre-cache pipeline.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +37,7 @@
 #include "core/array_state.h"
 #include "core/params.h"
 #include "crypto/berlekamp_welch.h"
+#include "crypto/scheme_cache.h"
 #include "crypto/shamir.h"
 #include "net/network.h"
 #include "tree/tournament_tree.h"
@@ -133,6 +147,7 @@ class ShareFlow {
   Network& net_;
   Rng rng_;
   FaultStyle style_ = FaultStyle::lying;
+  SchemeCache cache_;  ///< amortized dealing matrices and robust decoders
 };
 
 }  // namespace ba

@@ -1,5 +1,7 @@
 #include "crypto/berlekamp_welch.h"
 
+#include "crypto/scheme_cache.h"
+
 namespace ba {
 
 std::optional<std::vector<Fp>> solve_linear(std::vector<std::vector<Fp>> a,
@@ -48,37 +50,6 @@ std::optional<std::vector<Fp>> solve_linear(std::vector<std::vector<Fp>> a,
   }
   return z;
 }
-
-namespace {
-
-/// Divide polynomial num by den (coefficients constant-term first).
-/// Returns quotient iff the division is exact.
-std::optional<std::vector<Fp>> poly_divide_exact(std::vector<Fp> num,
-                                                 const std::vector<Fp>& den) {
-  // Trim leading zeros of den.
-  std::size_t dd = den.size();
-  while (dd > 0 && den[dd - 1].is_zero()) --dd;
-  if (dd == 0) return std::nullopt;  // division by zero polynomial
-  if (num.size() < dd) {
-    // num must be the zero polynomial for exactness.
-    for (const Fp& c : num)
-      if (!c.is_zero()) return std::nullopt;
-    return std::vector<Fp>{Fp(0)};
-  }
-  const Fp lead_inv = den[dd - 1].inverse();
-  std::vector<Fp> quot(num.size() - dd + 1, Fp(0));
-  for (std::size_t qi = quot.size(); qi-- > 0;) {
-    const Fp coef = num[qi + dd - 1] * lead_inv;
-    quot[qi] = coef;
-    if (coef.is_zero()) continue;
-    for (std::size_t j = 0; j < dd; ++j) num[qi + j] -= coef * den[j];
-  }
-  for (const Fp& c : num)
-    if (!c.is_zero()) return std::nullopt;  // non-zero remainder
-  return quot;
-}
-
-}  // namespace
 
 std::optional<std::vector<Fp>> berlekamp_welch(const std::vector<Fp>& xs,
                                                const std::vector<Fp>& ys,
@@ -172,58 +143,14 @@ std::optional<std::vector<Fp>> robust_reconstruct(
     const std::vector<VectorShare>& shares, std::size_t privacy_threshold) {
   BA_REQUIRE(!shares.empty(), "no shares");
   const std::size_t m = shares.size();
-  const std::size_t t = privacy_threshold;
-  if (m < t + 1) return std::nullopt;
-  const std::size_t max_errors = (m - t - 1) / 2;
-  const std::size_t words = shares.front().ys.size();
-  std::vector<Fp> xs(m), ys(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    BA_REQUIRE(shares[i].ys.size() == words, "ragged share vectors");
-    xs[i] = Fp(shares[i].x);
-  }
-  // Fast-path precompute, once per point set instead of once per word:
-  // interpolate through the first t+1 points barycentrically and check
-  // every redundant point against a precomputed Lagrange row. Per word
-  // that is O(m * (m - t)) multiplications and zero inversions; only
-  // words that fail the check pay for the full decoder.
-  const std::size_t k = t + 1;
-  bool fast = true;
-  for (std::size_t i = 0; i < k && fast; ++i)
-    for (std::size_t j = i + 1; j < k; ++j)
-      if (xs[i] == xs[j]) {
-        fast = false;
-        break;
-      }
-  std::optional<BarycentricInterpolator> interp;
-  std::vector<std::vector<Fp>> check_rows;
-  if (fast) {
-    interp.emplace(std::vector<Fp>(xs.begin(), xs.begin() + k));
-    check_rows.reserve(m - k);
-    for (std::size_t i = k; i < m; ++i)
-      check_rows.push_back(interp->row_at(xs[i]));
-  }
-  std::vector<Fp> head(k);
-  std::vector<Fp> secret(words);
-  for (std::size_t w = 0; w < words; ++w) {
-    for (std::size_t i = 0; i < m; ++i) ys[i] = shares[i].ys[w];
-    bool clean = fast;
-    if (fast) {
-      std::copy(ys.begin(), ys.begin() + k, head.begin());
-      for (std::size_t i = 0; clean && i < check_rows.size(); ++i)
-        clean = BarycentricInterpolator::eval_row(check_rows[i], head) ==
-                ys[k + i];
-    }
-    if (clean) {
-      secret[w] = interp->eval_at_zero(head);
-      continue;
-    }
-    std::optional<std::vector<Fp>> p;
-    if (!fast) p = berlekamp_welch(xs, ys, t, 0);  // degenerate point set
-    if (!p && max_errors > 0) p = berlekamp_welch(xs, ys, t, max_errors);
-    if (!p) return std::nullopt;
-    secret[w] = (*p)[0];
-  }
-  return secret;
+  if (m < privacy_threshold + 1) return std::nullopt;
+  std::vector<Fp> xs(m);
+  for (std::size_t i = 0; i < m; ++i) xs[i] = Fp(shares[i].x);
+  // One-shot decoder; hot paths that see the same point set repeatedly
+  // (ShareFlow::send_down) go through SchemeCache::robust instead, which
+  // keeps the decoder — and its fast-path precompute — alive across calls.
+  RobustDecoder decoder(std::move(xs), privacy_threshold);
+  return decoder.reconstruct(shares);
 }
 
 }  // namespace ba

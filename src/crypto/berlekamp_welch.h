@@ -33,13 +33,14 @@ std::optional<std::vector<Fp>> berlekamp_welch(const std::vector<Fp>& xs,
                                                std::size_t degree,
                                                std::size_t max_errors);
 
-/// Robust word-vector reconstruction: per word, run Berlekamp–Welch with
-/// the largest error budget the share count allows. Returns nullopt if any
-/// word fails to decode. The no-error case (honest shares, the common one)
-/// is amortized across words: the interpolation and per-point verification
-/// rows are precomputed once for the shared point set, so a clean word
-/// costs O(m * (m - t)) multiplications and no inversions; only damaged
-/// words pay for the full decoder.
+/// Robust word-vector reconstruction with the largest error budget the
+/// share count allows — the single entry point over the tiered decoder
+/// (crypto/scheme_cache.h): a clean word costs O(m * (m - t))
+/// multiplications and no inversions against a precomputed barycentric
+/// fast path shared by all words; a damaged word is decoded by Gao's
+/// extended-Euclid algorithm (O(m^2), crypto/gao.h), with Berlekamp–Welch
+/// kept for degenerate (duplicated-point) share sets. Returns nullopt if
+/// any word fails to decode.
 std::optional<std::vector<Fp>> robust_reconstruct(
     const std::vector<VectorShare>& shares, std::size_t privacy_threshold);
 

@@ -1,0 +1,157 @@
+#include "crypto/gao.h"
+
+namespace ba {
+
+namespace {
+
+/// Degree of a coefficient vector (constant term first); kZeroPoly for the
+/// zero polynomial.
+constexpr std::size_t kZeroPoly = static_cast<std::size_t>(-1);
+
+std::size_t poly_deg(const std::vector<Fp>& p) {
+  for (std::size_t i = p.size(); i-- > 0;)
+    if (!p[i].is_zero()) return i;
+  return kZeroPoly;
+}
+
+/// In-place remainder: num <- num mod den, returning the quotient.
+/// Requires den non-zero.
+std::vector<Fp> poly_divmod(std::vector<Fp>& num, const std::vector<Fp>& den,
+                            std::size_t den_deg) {
+  const std::size_t nd = poly_deg(num);
+  if (nd == kZeroPoly || nd < den_deg) return {};
+  const Fp lead_inv = den[den_deg].inverse();
+  std::vector<Fp> quot(nd - den_deg + 1, Fp(0));
+  for (std::size_t qi = quot.size(); qi-- > 0;) {
+    const Fp coef = num[qi + den_deg] * lead_inv;
+    if (coef.is_zero()) continue;
+    quot[qi] = coef;
+    for (std::size_t j = 0; j <= den_deg; ++j)
+      num[qi + j] -= coef * den[j];
+  }
+  return quot;
+}
+
+}  // namespace
+
+GaoContext::GaoContext(std::vector<Fp> xs) : xs_(std::move(xs)) {
+  BA_REQUIRE(!xs_.empty(), "need at least one interpolation point");
+  const std::size_t m = xs_.size();
+  // g0 = prod (x - x_i), built incrementally: O(m^2).
+  g0_.assign(m + 1, Fp(0));
+  g0_[0] = Fp(1);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t c = i + 1; c-- > 0;) {
+      g0_[c + 1] += g0_[c];
+      g0_[c] *= Fp(0) - xs_[i];
+    }
+  }
+  // Inverted Newton denominators, same sweep order as interpolate_coeffs
+  // (common/field.cpp): level k = 1..m-1, i descending; one batched
+  // inversion shared by every later interpolate_all call.
+  inv_dens_.reserve(m * (m - 1) / 2);
+  for (std::size_t k = 1; k < m; ++k)
+    for (std::size_t i = m; i-- > k;) {
+      const Fp d = xs_[i] - xs_[i - k];
+      BA_REQUIRE(!d.is_zero(), "interpolation points must be distinct");
+      inv_dens_.push_back(d);
+    }
+  batch_inverse(inv_dens_);
+}
+
+std::vector<Fp> GaoContext::interpolate_all(const std::vector<Fp>& ys) const {
+  const std::size_t m = xs_.size();
+  std::vector<Fp> a = ys;
+  std::size_t di = 0;
+  for (std::size_t k = 1; k < m; ++k)
+    for (std::size_t i = m; i-- > k;)
+      a[i] = (a[i] - a[i - 1]) * inv_dens_[di++];
+  // Expand Newton form to monomial coefficients.
+  std::vector<Fp> out(m, Fp(0));
+  out[0] = a[m - 1];
+  std::size_t deg = 0;
+  for (std::size_t i = m - 1; i-- > 0;) {
+    out[deg + 1] = out[deg];
+    for (std::size_t c = deg; c >= 1; --c)
+      out[c] = out[c - 1] - xs_[i] * out[c];
+    out[0] = a[i] - xs_[i] * out[0];
+    ++deg;
+  }
+  return out;
+}
+
+std::optional<std::vector<Fp>> GaoContext::decode(
+    const std::vector<Fp>& ys, std::size_t degree,
+    std::size_t max_errors) const {
+  const std::size_t m = xs_.size();
+  BA_REQUIRE(ys.size() == m, "point vectors must pair up");
+  BA_REQUIRE(m >= degree + 1 + 2 * max_errors,
+             "not enough points for this error budget");
+
+  std::vector<Fp> p;  // decoded candidate, constant term first
+  std::vector<Fp> g1 = interpolate_all(ys);
+  if (poly_deg(g1) == kZeroPoly || poly_deg(g1) <= degree) {
+    // The interpolant already has low degree: zero errors.
+    p = std::move(g1);
+  } else {
+    // Partial extended Euclid on (g0, g1), tracking only the v Bezout
+    // coefficient; stop at the first remainder r with
+    // deg r < (m + degree + 1) / 2.
+    std::vector<Fp> r_prev = g0_, r_cur = std::move(g1);
+    std::vector<Fp> v_prev{Fp(0)}, v_cur{Fp(1)};
+    bool zero_message = false;
+    for (;;) {
+      const std::size_t dc = poly_deg(r_cur);
+      if (dc == kZeroPoly) {
+        // Zero remainder: f = r / v vanishes, so the candidate message is
+        // the zero polynomial (e.g. a zero codeword plus errors) — the
+        // final verification below accepts or rejects it like any other.
+        zero_message = true;
+        break;
+      }
+      if (2 * dc < m + degree + 1) break;
+      std::vector<Fp> quot = poly_divmod(r_prev, r_cur, dc);
+      // v_next = v_prev - quot * v_cur, accumulated into v_prev.
+      const std::size_t vd = poly_deg(v_cur);
+      if (vd != kZeroPoly && !quot.empty()) {
+        v_prev.resize(std::max(v_prev.size(), quot.size() + vd + 1), Fp(0));
+        for (std::size_t qi = 0; qi < quot.size(); ++qi) {
+          if (quot[qi].is_zero()) continue;
+          for (std::size_t vi = 0; vi <= vd; ++vi)
+            v_prev[qi + vi] -= quot[qi] * v_cur[vi];
+        }
+      }
+      // poly_divmod reduced r_prev in place to the remainder; rotate so
+      // (r_prev, r_cur) = (old r_cur, remainder), and likewise for v.
+      std::swap(r_prev, r_cur);
+      std::swap(v_prev, v_cur);
+    }
+    if (zero_message) {
+      p.assign(1, Fp(0));
+    } else {
+      auto f = poly_divide_exact(std::move(r_cur), v_cur);
+      if (!f) return std::nullopt;  // v does not divide r: too many errors
+      p = std::move(*f);
+    }
+  }
+
+  const std::size_t pd = poly_deg(p);
+  if (pd != kZeroPoly && pd > degree) return std::nullopt;
+  if (p.size() > degree + 1) p.resize(degree + 1);
+  // Final verification, identical to Berlekamp–Welch's: at most
+  // max_errors disagreements.
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < m; ++i)
+    if (poly_eval(p, xs_[i]) != ys[i]) ++errors;
+  if (errors > max_errors) return std::nullopt;
+  return p;
+}
+
+std::optional<std::vector<Fp>> gao_decode(const std::vector<Fp>& xs,
+                                          const std::vector<Fp>& ys,
+                                          std::size_t degree,
+                                          std::size_t max_errors) {
+  return GaoContext(xs).decode(ys, degree, max_errors);
+}
+
+}  // namespace ba

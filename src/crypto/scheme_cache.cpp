@@ -1,0 +1,244 @@
+#include "crypto/scheme_cache.h"
+
+#include <algorithm>
+
+#include "crypto/berlekamp_welch.h"
+
+namespace ba {
+
+// ------------------------------------------------------- CachedScheme --
+
+CachedScheme::CachedScheme(std::size_t num_shares,
+                           std::size_t privacy_threshold)
+    : n_(num_shares), t_(privacy_threshold) {
+  BA_REQUIRE(n_ >= 1, "need at least one share");
+  BA_REQUIRE(t_ + 1 <= n_, "reconstruction must be possible from all shares");
+  BA_REQUIRE(n_ < Fp::kP, "evaluation points must be distinct field elements");
+  // vand_[i * t + j] = (i + 1)^{j + 1}: the non-constant monomials at the
+  // canonical points. The constant column is implicit (always the secret).
+  vand_.resize(n_ * t_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const Fp x(static_cast<std::uint64_t>(i + 1));
+    Fp pw = x;
+    for (std::size_t j = 0; j < t_; ++j) {
+      vand_[i * t_ + j] = pw;
+      pw *= x;
+    }
+  }
+}
+
+std::vector<VectorShare> CachedScheme::deal(const std::vector<Fp>& secret,
+                                            Rng& rng) const {
+  std::vector<VectorShare> shares;
+  deal_into(secret, rng, shares);
+  return shares;
+}
+
+void CachedScheme::deal_into(const std::vector<Fp>& secret, Rng& rng,
+                             std::vector<VectorShare>& out) const {
+  const std::size_t words = secret.size();
+  out.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    out[i].x = static_cast<std::uint32_t>(i + 1);
+    out[i].ys.resize(words);
+  }
+  if (t_ == 0) {  // degenerate scheme: the share is the secret
+    for (std::size_t i = 0; i < n_; ++i)
+      std::copy(secret.begin(), secret.end(), out[i].ys.begin());
+    return;
+  }
+  // Draw every word's random coefficients first, in the seed's order
+  // (word-major, degrees 1..t) — this keeps cached dealing byte-identical
+  // to ShamirScheme::deal for the same Rng state.
+  coeffs_.resize(words * t_);
+  for (std::size_t w = 0; w < words; ++w)
+    for (std::size_t j = 0; j < t_; ++j) coeffs_[w * t_ + j] = Fp(rng.next());
+  // Y = secret + V * C, blocked four words at a time with deferred
+  // reduction: raw 128-bit products accumulate unreduced (each term is
+  // < 2^122, so up to kChunk = 60 terms fit in the accumulator) and fold
+  // mod 2^61 - 1 once per chunk. Exact field arithmetic, so the shares
+  // match the per-term-reducing Horner path bit for bit — but each loaded
+  // Vandermonde entry is one multiply and two adds toward four
+  // independent accumulators, where Horner's chain serialises a full
+  // reduce per term.
+  constexpr std::size_t kChunk = 60;
+  const auto fold = [](unsigned __int128 acc) -> std::uint64_t {
+    const std::uint64_t lo = static_cast<std::uint64_t>(acc) & Fp::kP;
+    const std::uint64_t mid =
+        static_cast<std::uint64_t>(acc >> 61) & Fp::kP;
+    const std::uint64_t hi = static_cast<std::uint64_t>(acc >> 122);
+    std::uint64_t s = lo + mid + hi;  // < 3 * 2^61, fits
+    s = (s & Fp::kP) + (s >> 61);
+    if (s >= Fp::kP) s -= Fp::kP;
+    return s;
+  };
+  for (std::size_t i = 0; i < n_; ++i) {
+    const Fp* vrow = &vand_[i * t_];
+    std::vector<Fp>& ys = out[i].ys;
+    std::size_t w = 0;
+    for (; w + 4 <= words; w += 4) {
+      const Fp* c0 = &coeffs_[w * t_];
+      const Fp* c1 = c0 + t_;
+      const Fp* c2 = c1 + t_;
+      const Fp* c3 = c2 + t_;
+      unsigned __int128 a0 = secret[w].value();
+      unsigned __int128 a1 = secret[w + 1].value();
+      unsigned __int128 a2 = secret[w + 2].value();
+      unsigned __int128 a3 = secret[w + 3].value();
+      for (std::size_t j0 = 0; j0 < t_; j0 += kChunk) {
+        const std::size_t j1 = std::min(j0 + kChunk, t_);
+        for (std::size_t j = j0; j < j1; ++j) {
+          const unsigned __int128 v = vrow[j].value();
+          a0 += v * c0[j].value();
+          a1 += v * c1[j].value();
+          a2 += v * c2[j].value();
+          a3 += v * c3[j].value();
+        }
+        a0 = fold(a0);
+        a1 = fold(a1);
+        a2 = fold(a2);
+        a3 = fold(a3);
+      }
+      ys[w] = Fp(fold(a0));
+      ys[w + 1] = Fp(fold(a1));
+      ys[w + 2] = Fp(fold(a2));
+      ys[w + 3] = Fp(fold(a3));
+    }
+    for (; w < words; ++w) {
+      const Fp* cw = &coeffs_[w * t_];
+      unsigned __int128 acc = secret[w].value();
+      for (std::size_t j0 = 0; j0 < t_; j0 += kChunk) {
+        const std::size_t j1 = std::min(j0 + kChunk, t_);
+        for (std::size_t j = j0; j < j1; ++j)
+          acc += static_cast<unsigned __int128>(vrow[j].value()) *
+                 cw[j].value();
+        acc = fold(acc);
+      }
+      ys[w] = Fp(fold(acc));
+    }
+  }
+}
+
+// ------------------------------------------------------ RobustDecoder --
+
+RobustDecoder::RobustDecoder(std::vector<Fp> xs,
+                             std::size_t privacy_threshold)
+    : xs_(std::move(xs)), t_(privacy_threshold) {
+  const std::size_t m = xs_.size();
+  BA_REQUIRE(m >= t_ + 1, "not enough points for the threshold");
+  max_errors_ = (m - t_ - 1) / 2;
+  const std::size_t k = t_ + 1;
+  fast_ = true;
+  for (std::size_t i = 0; i < k && fast_; ++i)
+    for (std::size_t j = i + 1; j < k; ++j)
+      if (xs_[i] == xs_[j]) {
+        fast_ = false;
+        break;
+      }
+  all_distinct_ = fast_;
+  for (std::size_t i = 0; i < m && all_distinct_; ++i)
+    for (std::size_t j = std::max(i + 1, k); j < m; ++j)
+      if (xs_[i] == xs_[j]) {
+        all_distinct_ = false;
+        break;
+      }
+  if (fast_) {
+    interp_.emplace(std::vector<Fp>(xs_.begin(), xs_.begin() + k));
+    check_rows_.reserve(m - k);
+    for (std::size_t i = k; i < m; ++i)
+      check_rows_.push_back(interp_->row_at(xs_[i]));
+  }
+  ys_.resize(m);
+  head_.resize(k);
+}
+
+std::optional<Fp> RobustDecoder::decode_word() const {
+  std::optional<std::vector<Fp>> p;
+  if (!fast_) p = berlekamp_welch(xs_, ys_, t_, 0);  // degenerate point set
+  if (!p && max_errors_ > 0) {
+    if (all_distinct_) {
+      if (!gao_) gao_.emplace(xs_);  // first damaged word pays the setup
+      p = gao_->decode(ys_, t_, max_errors_);
+    } else {
+      p = berlekamp_welch(xs_, ys_, t_, max_errors_);
+    }
+  }
+  if (!p) return std::nullopt;
+  return (*p)[0];
+}
+
+std::optional<std::vector<Fp>> RobustDecoder::reconstruct(
+    const std::vector<VectorShare>& shares) const {
+  const std::size_t m = xs_.size();
+  BA_REQUIRE(shares.size() == m, "share count must match the point set");
+  const std::size_t words = shares.empty() ? 0 : shares.front().ys.size();
+  const std::size_t k = t_ + 1;
+  for (std::size_t i = 0; i < m; ++i)
+    BA_REQUIRE(shares[i].ys.size() == words, "ragged share vectors");
+  std::vector<Fp> secret(words);
+  for (std::size_t w = 0; w < words; ++w) {
+    for (std::size_t i = 0; i < m; ++i) ys_[i] = shares[i].ys[w];
+    bool clean = fast_;
+    if (fast_) {
+      std::copy(ys_.begin(), ys_.begin() + static_cast<std::ptrdiff_t>(k),
+                head_.begin());
+      for (std::size_t i = 0; clean && i < check_rows_.size(); ++i)
+        clean = BarycentricInterpolator::eval_row(check_rows_[i], head_) ==
+                ys_[k + i];
+    }
+    if (clean) {
+      secret[w] = interp_->eval_at_zero(head_);
+      continue;
+    }
+    auto value = decode_word();
+    if (!value) return std::nullopt;
+    secret[w] = *value;
+  }
+  return secret;
+}
+
+// -------------------------------------------------------- SchemeCache --
+
+const CachedScheme& SchemeCache::scheme(std::size_t num_shares,
+                                        std::size_t privacy_threshold) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(num_shares) << 32) |
+      static_cast<std::uint64_t>(privacy_threshold);
+  auto it = schemes_.find(key);
+  if (it == schemes_.end())
+    it = schemes_
+             .emplace(key, std::make_unique<CachedScheme>(num_shares,
+                                                          privacy_threshold))
+             .first;
+  return *it->second;
+}
+
+const RobustDecoder& SchemeCache::robust(const std::vector<Fp>& xs,
+                                         std::size_t privacy_threshold) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over (t, xs)
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(privacy_threshold);
+  for (const Fp& x : xs) mix(x.value());
+  {
+    auto it = decoders_.find(h);
+    if (it != decoders_.end())
+      for (const auto& d : it->second)
+        if (d->privacy_threshold() == privacy_threshold &&
+            d->points() == xs)
+          return *d;
+  }
+  if (decoder_count_ >= kMaxDecoders) {  // epoch reset; rebuilt on demand
+    decoders_.clear();
+    decoder_count_ = 0;
+  }
+  auto& bucket = decoders_[h];
+  bucket.push_back(
+      std::make_unique<RobustDecoder>(xs, privacy_threshold));
+  ++decoder_count_;
+  return *bucket.back();
+}
+
+}  // namespace ba

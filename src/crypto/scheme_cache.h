@@ -1,0 +1,138 @@
+// Cached share-pipeline crypto: amortized Shamir dealing and robust
+// word-vector decoding.
+//
+// The share pipeline (ShareFlow, Section 3.2.3) uses a small, fixed set of
+// scheme shapes over and over: one (k1, t1) scheme per leaf dealing, one
+// (d_up, t_up) scheme per uplink re-dealing, and the mirrored point sets on
+// the way back down. The seed constructed a fresh ShamirScheme — and with
+// it, per-word Horner evaluation and per-call interpolation setup — at
+// every call site. This header owns the amortization:
+//
+//  * CachedScheme, keyed by (n, t): a precomputed Vandermonde dealing
+//    matrix V[i][j] = x_i^{j+1} for x_i = 1..n. Dealing a w-word secret is
+//    then one (n x t) x (t x w) matrix product, blocked over words so the
+//    independent products pipeline (Horner's chain is latency-bound on the
+//    128-bit Mersenne multiply). Randomness is drawn word-major, degrees
+//    1..t, exactly like ShamirScheme::deal — cached dealing is
+//    byte-identical to the seed path for the same Rng state.
+//
+//  * RobustDecoder, keyed by (point set, t): the no-error fast path
+//    precompute (BarycentricInterpolator through the first t+1 points plus
+//    one verification row per redundant point) and a lazily built
+//    GaoContext for damaged words. robust_reconstruct() in
+//    berlekamp_welch.h is the uncached entry point over the same code.
+//
+//  * SchemeCache: owns both maps. Entries are allocated once and have
+//    stable addresses; a ShareFlow holds one cache for its lifetime, so
+//    every dealing after the first per shape is free of setup cost.
+//
+// Not thread-safe (the simulator is single-threaded); decoders keep
+// per-word scratch buffers across calls for zero steady-state allocation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/field.h"
+#include "common/rng.h"
+#include "crypto/gao.h"
+#include "crypto/shamir.h"
+
+namespace ba {
+
+/// A (n, t) Shamir scheme with its dealing matrix precomputed. Evaluation
+/// points are the scheme's canonical x = 1..n.
+class CachedScheme {
+ public:
+  CachedScheme(std::size_t num_shares, std::size_t privacy_threshold);
+
+  std::size_t num_shares() const { return n_; }
+  std::size_t privacy_threshold() const { return t_; }
+  std::size_t shares_needed() const { return t_ + 1; }
+
+  /// Deal shares of `secret`; byte-identical to
+  /// ShamirScheme(n, t).deal(secret, rng) for the same rng state.
+  std::vector<VectorShare> deal(const std::vector<Fp>& secret,
+                                Rng& rng) const;
+
+  /// Deal into a reused share vector (resized/overwritten) — the
+  /// zero-allocation steady state for tight re-dealing loops.
+  void deal_into(const std::vector<Fp>& secret, Rng& rng,
+                 std::vector<VectorShare>& out) const;
+
+ private:
+  std::size_t n_;
+  std::size_t t_;
+  std::vector<Fp> vand_;  ///< row-major n x t: vand_[i*t + j] = (i+1)^{j+1}
+  mutable std::vector<Fp> coeffs_;  ///< word-major draw scratch (words x t)
+};
+
+/// Robust word-vector decoding over one fixed point set: the shared
+/// no-error fast path plus Gao decoding for damaged words. Point order
+/// matters (shares must be passed in the same order as `xs`).
+class RobustDecoder {
+ public:
+  /// `xs` are the shares' evaluation points in share order; `t` the privacy
+  /// threshold. The error budget is (xs.size() - t - 1) / 2, as in
+  /// robust_reconstruct().
+  RobustDecoder(std::vector<Fp> xs, std::size_t privacy_threshold);
+
+  const std::vector<Fp>& points() const { return xs_; }
+  std::size_t privacy_threshold() const { return t_; }
+  std::size_t max_errors() const { return max_errors_; }
+
+  /// Per-word robust reconstruction of shares (whose x values must match
+  /// points(), in order). Returns nullopt if any word fails to decode.
+  std::optional<std::vector<Fp>> reconstruct(
+      const std::vector<VectorShare>& shares) const;
+
+ private:
+  std::optional<Fp> decode_word() const;  ///< operates on ys_ scratch
+
+  std::vector<Fp> xs_;
+  std::size_t t_;
+  std::size_t max_errors_;
+  bool fast_ = false;          ///< first t+1 points distinct
+  bool all_distinct_ = false;  ///< Gao usable (every point distinct)
+  std::optional<BarycentricInterpolator> interp_;  ///< through first t+1
+  std::vector<std::vector<Fp>> check_rows_;  ///< one per redundant point
+  mutable std::optional<GaoContext> gao_;    ///< built on first damaged word
+  mutable std::vector<Fp> ys_;    ///< per-word value scratch
+  mutable std::vector<Fp> head_;  ///< first t+1 values scratch
+};
+
+/// Owner of cached schemes and decoders. scheme() references stay valid
+/// for the cache's lifetime. robust() references stay valid until a
+/// later robust() call evicts (the decoder map is bounded — under
+/// adaptive corruption the survivor point sets keep changing, and an
+/// unbounded map would grow for the lifetime of a long run); use them
+/// immediately rather than retaining them.
+class SchemeCache {
+ public:
+  /// Decoders cached before the map is reset and rebuilt on demand. Far
+  /// above any realistic distinct-survivor-pattern count per flow; the
+  /// bound only exists to cap pathological runs.
+  static constexpr std::size_t kMaxDecoders = 4096;
+
+  /// The (n, t) scheme over canonical points 1..n.
+  const CachedScheme& scheme(std::size_t num_shares,
+                             std::size_t privacy_threshold);
+
+  /// The decoder for an explicit, ordered point set.
+  const RobustDecoder& robust(const std::vector<Fp>& xs,
+                              std::size_t privacy_threshold);
+
+ private:
+  std::unordered_map<std::uint64_t, std::unique_ptr<CachedScheme>> schemes_;
+  // Decoders bucketed by a hash of (xs, t); each bucket is scanned for an
+  // exact point-set match, so hash collisions only cost a comparison.
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::unique_ptr<RobustDecoder>>>
+      decoders_;
+  std::size_t decoder_count_ = 0;
+};
+
+}  // namespace ba

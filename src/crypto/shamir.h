@@ -41,6 +41,10 @@ class ShamirScheme {
   std::size_t shares_needed() const { return t_ + 1; }
 
   /// Deal shares of `secret` (one polynomial of degree t per word).
+  /// This is the reference Horner path; repeated dealings of the same
+  /// (n, t) shape should go through SchemeCache (crypto/scheme_cache.h),
+  /// whose precomputed Vandermonde matrix produces byte-identical shares
+  /// amortized across words and dealings.
   std::vector<VectorShare> deal(const std::vector<Fp>& secret, Rng& rng) const;
 
   /// Reconstruct from exactly shares_needed() of the dealt shares (any

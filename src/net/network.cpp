@@ -12,6 +12,7 @@ Network::Network(std::size_t n, std::size_t max_corrupt)
       corrupt_(n, false),
       staging_(n),
       inboxes_(n),
+      inbox_spans_(n),
       sender_slot_(n, 0),
       ledger_(n) {
   BA_REQUIRE(n > 0, "network needs at least one processor");
@@ -52,21 +53,45 @@ void Network::charge_bulk(ProcId from, ProcId to, std::size_t content_bits) {
   ledger_.charge_recv(to, content_bits + kHeaderBits);
 }
 
+void Network::charge_batch(ProcId from, ProcId to, std::size_t content_bits) {
+  BA_REQUIRE(from < n_ && to < n_, "processor id out of range");
+  if (batch_msgs_ != 0 && from != batch_from_) flush_charge_batch();
+  batch_from_ = from;
+  batch_bits_ += content_bits + kHeaderBits;
+  batch_msgs_ += 1;
+  ledger_.charge_recv(to, content_bits + kHeaderBits);
+}
+
+void Network::flush_charge_batch() const {
+  if (batch_msgs_ == 0) return;
+  ledger_.charge_send_batch(batch_from_, batch_msgs_, batch_bits_);
+  batch_msgs_ = 0;
+  batch_bits_ = 0;
+}
+
 void Network::advance_round() {
+  flush_charge_batch();
   for (ProcId p = 0; p < n_; ++p) {
     auto& in = inboxes_[p];
+    auto& spans = inbox_spans_[p];
     in.clear();
+    spans.clear();
     auto& stage = staging_[p];
     if (stage.empty()) continue;
-    // One pass: charge receipts, count per-sender, detect sorted input.
+    // One pass: charge receipts, count per sender, detect sorted input
+    // and tag uniformity (one compare — almost every bucket carries a
+    // single tag, and that case must stay as cheap as the seed's).
     touched_senders_.clear();
     bool sorted = true;
     ProcId prev = 0;
+    const std::uint32_t first_tag = stage.front().payload.tag;
+    bool uniform_tag = true;
     for (const Envelope& e : stage) {
       ledger_.charge_recv(p, e.payload.bits());
       if (sender_slot_[e.from]++ == 0) touched_senders_.push_back(e.from);
       if (e.from < prev) sorted = false;
       prev = e.from;
+      uniform_tag &= e.payload.tag == first_tag;
     }
     if (sorted) {
       // Already in per-sender order (the common case: drivers iterate
@@ -88,11 +113,62 @@ void Network::advance_round() {
     }
     for (ProcId s : touched_senders_) sender_slot_[s] = 0;
     stage.clear();
+    if (uniform_tag) {
+      spans.push_back({first_tag, 0, static_cast<std::uint32_t>(in.size())});
+    } else {
+      // Mixed-tag bucket (rare): count the distinct tags in a second
+      // pass — they are few, so a linear scan with a most-recent check
+      // suffices.
+      touched_tags_.clear();
+      for (const Envelope& e : in) {
+        const std::uint32_t tag = e.payload.tag;
+        if (touched_tags_.empty() || touched_tags_.back().first != tag) {
+          auto it = touched_tags_.begin();
+          for (; it != touched_tags_.end() && it->first != tag; ++it) {
+          }
+          if (it == touched_tags_.end())
+            touched_tags_.emplace_back(tag, 0);
+          else
+            std::swap(*it, touched_tags_.back());
+        }
+        touched_tags_.back().second += 1;
+      }
+      // Second stable counting pass grouping by tag (ascending), giving
+      // the (tag, sender) lexicographic inbox and its span table in one
+      // distribution sweep.
+      std::sort(touched_tags_.begin(), touched_tags_.end());
+      std::uint32_t offset = 0;
+      for (auto& [tag, count] : touched_tags_) {
+        const std::uint32_t c = count;
+        spans.push_back({tag, offset, offset + c});
+        count = offset;  // becomes this tag's running write cursor
+        offset += c;
+      }
+      tag_scratch_.resize(in.size());
+      for (Envelope& e : in) {
+        std::uint32_t slot = 0;
+        const std::uint32_t tag = e.payload.tag;
+        while (touched_tags_[slot].first != tag) ++slot;
+        tag_scratch_[touched_tags_[slot].second++] = std::move(e);
+      }
+      in.swap(tag_scratch_);
+    }
   }
   pending_log_.clear();
   visible_.clear();
   visible_dirty_ = false;
   ++round_;
+}
+
+TaggedInbox Network::inbox(ProcId p, std::uint32_t tag) const {
+  BA_REQUIRE(p < n_, "processor id out of range");
+  const auto& spans = inbox_spans_[p];
+  for (const TagSpan& s : spans) {
+    if (s.tag != tag) continue;
+    const Envelope* base = inboxes_[p].data();
+    return TaggedInbox{base + s.begin, base + s.end};
+  }
+  return TaggedInbox{};
 }
 
 std::vector<PendingRef> Network::pending_visible_to_adversary() const {

@@ -19,11 +19,26 @@
 //    bound processing with inbox caps at the protocol layer.
 //
 // Implementation notes (the per-round hot path): pending traffic is staged
-// in per-receiver buckets, so delivery is a per-bucket counting sort by
-// sender (stable, O(messages)) instead of the seed's global pending vector
-// plus a comparison `stable_sort` of every inbox every round. All round
-// storage (buckets, inboxes, counting scratch) is reused across rounds, so
-// steady-state rounds allocate nothing. The adversary's view is an
+// in per-receiver buckets; delivery is a per-bucket stable counting sort
+// into (tag, sender) lexicographic order — by sender first (reusing the
+// seed-replacing counting sort) and, only when a bucket mixes tags, a
+// second stable counting pass grouping by tag. The sort doubles as index
+// construction: each receiver gets a per-tag span table, so protocols
+// iterate exactly the envelopes of one tag via inbox(p, tag) instead of
+// filtering the whole inbox per tally loop. Within a tag, envelopes are
+// still sorted stably by sender — the subsequence a tag-filtering scan of
+// the old sender-sorted inbox would have produced, so tag-scoped consumers
+// see byte-identical message streams. All round storage (buckets, inboxes,
+// counting scratch, span tables) is reused across rounds; steady-state
+// rounds allocate nothing.
+//
+// Ledger charging: send() charges per message (it must — the envelope
+// materializes), but the accounting-only bulk flows (share movement,
+// sendOpen, query floods) go through charge_batch(), which accumulates
+// consecutive same-sender charges into one pending (sender, round) batch
+// drained at advance_round() (or on ledger access). That turns the three
+// random-access ledger touches per message into one receiver touch plus
+// two amortized sender updates. The adversary's view is an
 // incrementally-maintained index of visible envelopes, rebuilt lazily only
 // when a mid-round corruption changes which envelopes are visible.
 #pragma once
@@ -43,6 +58,18 @@ namespace ba {
 struct PendingRef {
   ProcId to = 0;
   std::uint32_t index = 0;
+};
+
+/// Contiguous view of one round's delivered envelopes carrying a single
+/// tag, sorted stably by sender. Iterable like a container.
+struct TaggedInbox {
+  const Envelope* first = nullptr;
+  const Envelope* last = nullptr;
+
+  const Envelope* begin() const { return first; }
+  const Envelope* end() const { return last; }
+  std::size_t size() const { return static_cast<std::size_t>(last - first); }
+  bool empty() const { return first == last; }
 };
 
 class Network {
@@ -73,14 +100,27 @@ class Network {
   /// query floods): charges the ledger exactly like send() — content bits
   /// plus the per-message header — but materialises no envelope. Keeps
   /// multi-million-message flows at O(1) memory without losing a bit of
-  /// the paper's cost measure.
+  /// the paper's cost measure. Charges immediately; prefer charge_batch()
+  /// in loops.
   void charge_bulk(ProcId from, ProcId to, std::size_t content_bits);
+
+  /// Batched variant of charge_bulk for the Õ(√n)-message flows: the
+  /// sender-side charge is accumulated per (sender, round) and drained at
+  /// advance_round() (or on ledger access), so a fan-out loop touches the
+  /// ledger once per receiver instead of three times per message. Totals
+  /// are identical to charge_bulk call for call.
+  void charge_batch(ProcId from, ProcId to, std::size_t content_bits);
 
   /// Deliver all pending traffic and begin the next round.
   void advance_round();
 
-  /// Messages delivered to p this round (sent during the previous round).
+  /// Messages delivered to p this round (sent during the previous round),
+  /// grouped by tag (ascending), sorted stably by sender within each tag.
   const std::vector<Envelope>& inbox(ProcId p) const { return inboxes_[p]; }
+
+  /// The span of p's current inbox carrying `tag` (empty span if none).
+  /// Replaces whole-inbox filter scans in per-tag tally loops.
+  TaggedInbox inbox(ProcId p, std::uint32_t tag) const;
 
   /// Pending (not yet delivered) envelopes with a corrupted endpoint, in
   /// global send order. This is everything the rushing adversary is
@@ -97,13 +137,32 @@ class Network {
     return staging_[r.to][r.index];
   }
 
-  BitLedger& ledger() { return ledger_; }
-  const BitLedger& ledger() const { return ledger_; }
+  /// The bit ledger, with any pending charge_batch() totals drained at
+  /// call time. Do not retain the reference across further charge_batch()
+  /// traffic — a held alias can miss up to one pending sender batch;
+  /// re-call ledger() at each read point instead.
+  BitLedger& ledger() {
+    flush_charge_batch();
+    return ledger_;
+  }
+  const BitLedger& ledger() const {
+    flush_charge_batch();
+    return ledger_;
+  }
 
   /// All processor ids with is_corrupt(p) == false.
   std::vector<ProcId> good_procs() const;
 
  private:
+  /// One tag's contiguous range within a receiver's inbox.
+  struct TagSpan {
+    std::uint32_t tag = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
+  void flush_charge_batch() const;
+
   std::size_t n_;
   std::size_t max_corrupt_;
   std::size_t corrupt_count_ = 0;
@@ -111,9 +170,12 @@ class Network {
   std::vector<bool> corrupt_;
   std::vector<std::vector<Envelope>> staging_;  ///< per-receiver pending
   std::vector<std::vector<Envelope>> inboxes_;
+  std::vector<std::vector<TagSpan>> inbox_spans_;  ///< per-receiver tag index
   // Counting-sort scratch, shared across receivers and reused every round.
   std::vector<std::uint32_t> sender_slot_;
   std::vector<ProcId> touched_senders_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> touched_tags_;
+  std::vector<Envelope> tag_scratch_;
   // All pending envelopes in global send order (storage reused across
   // rounds); keeps the adversary's view deterministic when it has to be
   // rebuilt after a mid-round corruption.
@@ -122,7 +184,12 @@ class Network {
   // when corrupt() may have made previously-hidden traffic visible.
   mutable std::vector<PendingRef> visible_;
   mutable bool visible_dirty_ = false;
-  BitLedger ledger_;
+  // Pending per-(sender, round) charge batch (drained lazily, hence
+  // mutable: const ledger reads must see drained totals).
+  mutable ProcId batch_from_ = 0;
+  mutable std::uint64_t batch_msgs_ = 0;
+  mutable std::uint64_t batch_bits_ = 0;
+  mutable BitLedger ledger_;
 };
 
 }  // namespace ba

@@ -24,6 +24,12 @@ class BitLedger {
     bits_sent_[p] += bits;
     msgs_sent_[p] += 1;
   }
+  /// Drain one (sender, round) charge batch: `msgs` messages totalling
+  /// `bits` (headers included). Equivalent to `msgs` charge_send calls.
+  void charge_send_batch(ProcId p, std::uint64_t msgs, std::uint64_t bits) {
+    bits_sent_[p] += bits;
+    msgs_sent_[p] += msgs;
+  }
   void charge_recv(ProcId p, std::size_t bits) { bits_recv_[p] += bits; }
 
   std::uint64_t bits_sent(ProcId p) const { return bits_sent_[p]; }

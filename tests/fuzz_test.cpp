@@ -32,8 +32,23 @@ TEST(NetworkFuzz, RandomTrafficKeepsInvariants) {
     net.advance_round();
     for (ProcId p = 0; p < 32; ++p) {
       const auto& box = net.inbox(p);
-      for (std::size_t i = 1; i < box.size(); ++i)
-        EXPECT_LE(box[i - 1].from, box[i].from);  // sorted by sender
+      // Delivery order is (tag, sender) lexicographic: tag groups
+      // ascending, sorted stably by sender within each group.
+      for (std::size_t i = 1; i < box.size(); ++i) {
+        EXPECT_LE(box[i - 1].payload.tag, box[i].payload.tag);
+        if (box[i - 1].payload.tag == box[i].payload.tag)
+          EXPECT_LE(box[i - 1].from, box[i].from);
+      }
+      // The tag index must agree with a whole-inbox filter scan.
+      for (std::size_t i = 0; i < box.size(); ++i) {
+        const std::uint32_t tag = box[i].payload.tag;
+        TaggedInbox span = net.inbox(p, tag);
+        std::size_t matching = 0;
+        for (const auto& env : box) matching += env.payload.tag == tag;
+        EXPECT_EQ(span.size(), matching);
+        for (const auto& env : span) EXPECT_EQ(env.payload.tag, tag);
+      }
+      EXPECT_TRUE(net.inbox(p, 0xDEADBEEF).empty());
     }
   }
   EXPECT_LE(net.corrupt_count(), 10u);

@@ -1,0 +1,264 @@
+// Tests for the cached share-pipeline crypto (crypto/scheme_cache.h) and
+// the Gao decoder (crypto/gao.h): cached dealing must be byte-identical to
+// the reference Horner path, and Gao must agree with Berlekamp–Welch on
+// every error pattern inside the unique-decoding budget.
+#include <gtest/gtest.h>
+
+#include "crypto/berlekamp_welch.h"
+#include "crypto/gao.h"
+#include "crypto/iterated.h"
+#include "crypto/scheme_cache.h"
+#include "crypto/shamir.h"
+
+namespace ba {
+namespace {
+
+std::vector<Fp> random_secret(Rng& rng, std::size_t words) {
+  std::vector<Fp> s(words);
+  for (auto& w : s) w = Fp(rng.next());
+  return s;
+}
+
+// --------------------------------------------------------- CachedScheme --
+
+TEST(SchemeCache, DealingByteIdenticalToHornerAcrossGrid) {
+  // Same Rng seed through both paths: every share of every word must match
+  // exactly, for word counts that exercise the blocked kernel (multiples
+  // of four), its remainder loop, and the empty secret.
+  SchemeCache cache;
+  // {80, 70} exercises the deferred-reduction chunk boundary (> 60 terms).
+  const std::size_t grid[][2] = {{1, 0}, {2, 1},  {4, 1},  {5, 2},
+                                 {8, 2}, {9, 3},  {12, 3}, {16, 8},
+                                 {32, 10}, {33, 16}, {48, 32}, {80, 70}};
+  for (const auto& nt : grid) {
+    const std::size_t n = nt[0], t = nt[1];
+    for (std::size_t words : {0u, 1u, 3u, 4u, 7u, 64u}) {
+      Rng seed_rng(1000 + n * 31 + t * 7 + words);
+      auto secret = random_secret(seed_rng, words);
+      Rng a(42 + n + t + words), b(42 + n + t + words);
+      auto reference = ShamirScheme(n, t).deal(secret, a);
+      auto cached = cache.scheme(n, t).deal(secret, b);
+      ASSERT_EQ(reference.size(), cached.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(reference[i].x, cached[i].x);
+        ASSERT_EQ(reference[i].ys.size(), cached[i].ys.size());
+        for (std::size_t w = 0; w < words; ++w)
+          EXPECT_EQ(reference[i].ys[w].value(), cached[i].ys[w].value())
+              << "n=" << n << " t=" << t << " share=" << i << " word=" << w;
+      }
+      // Both paths must leave the Rng in the same state.
+      EXPECT_EQ(a.next(), b.next());
+    }
+  }
+}
+
+TEST(SchemeCache, DealIntoReusesStorage) {
+  SchemeCache cache;
+  const CachedScheme& scheme = cache.scheme(9, 3);
+  Rng rng(7);
+  std::vector<VectorShare> out;
+  scheme.deal_into(random_secret(rng, 8), rng, out);
+  ASSERT_EQ(out.size(), 9u);
+  const Fp* storage = out[0].ys.data();
+  scheme.deal_into(random_secret(rng, 8), rng, out);  // same shape: no realloc
+  EXPECT_EQ(out[0].ys.data(), storage);
+  EXPECT_EQ(out[0].ys.size(), 8u);
+}
+
+TEST(SchemeCache, ReturnsStableReferences) {
+  SchemeCache cache;
+  const CachedScheme* first = &cache.scheme(8, 2);
+  for (std::size_t n = 2; n < 40; ++n) cache.scheme(n, n / 4 + 1);
+  EXPECT_EQ(&cache.scheme(8, 2), first);
+  // Decoder references are stable below the eviction bound.
+  std::vector<Fp> xs{Fp(1), Fp(2), Fp(3), Fp(4), Fp(5)};
+  const RobustDecoder* dec = &cache.robust(xs, 1);
+  for (std::size_t i = 0; i < 30; ++i) {
+    std::vector<Fp> other{Fp(10 + i), Fp(20 + i), Fp(30 + i)};
+    cache.robust(other, 1);
+  }
+  EXPECT_EQ(&cache.robust(xs, 1), dec);
+}
+
+TEST(SchemeCache, DecoderMapEvictionStillDecodes) {
+  // Push past kMaxDecoders distinct point sets: the map resets and keeps
+  // working (entries rebuild on demand).
+  SchemeCache cache;
+  Rng rng(55);
+  ShamirScheme scheme(5, 1);
+  auto secret = random_secret(rng, 2);
+  auto shares = scheme.deal(secret, rng);
+  std::vector<Fp> xs(5);
+  for (std::size_t i = 0; i < 5; ++i) xs[i] = Fp(shares[i].x);
+  for (std::size_t i = 0; i < SchemeCache::kMaxDecoders + 8; ++i) {
+    std::vector<Fp> other{Fp(2 + i), Fp(500000 + i), Fp(1000000 + i)};
+    cache.robust(other, 1);
+  }
+  auto rec = cache.robust(xs, 1).reconstruct(shares);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(*rec, secret);
+}
+
+TEST(SchemeCache, CachedRedealMatchesPlainRedeal) {
+  SchemeCache cache;
+  Rng rng(11);
+  VectorShare parent;
+  parent.x = 3;
+  parent.ys = random_secret(rng, 6);
+  Rng a(5), b(5);
+  auto plain = redeal(parent, 7, 3, a);
+  auto cached = redeal(parent, 7, 3, b, cache);
+  ASSERT_EQ(plain.size(), cached.size());
+  for (std::size_t i = 0; i < plain.size(); ++i)
+    EXPECT_EQ(plain[i].ys, cached[i].ys);
+}
+
+// ---------------------------------------------------------------- Gao --
+
+TEST(Gao, AgreesWithBerlekampWelchOnRandomErrorPatterns) {
+  Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t degree = 1 + rng.below(6);
+    const std::size_t budget = rng.below(5);
+    const std::size_t m = degree + 1 + 2 * budget + rng.below(3);
+    std::vector<Fp> coeffs(degree + 1);
+    for (auto& c : coeffs) c = Fp(rng.next());
+    std::vector<Fp> xs(m), ys(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      xs[i] = Fp(i * 7 + 1);
+      ys[i] = poly_eval(coeffs, xs[i]);
+    }
+    const std::size_t max_errors = (m - degree - 1) / 2;
+    const std::size_t errors = rng.below(max_errors + 1);
+    auto bad = rng.sample_without_replacement(m, errors);
+    for (auto b : bad) ys[b] = Fp(rng.next());
+    auto via_gao = gao_decode(xs, ys, degree, max_errors);
+    auto via_bw = berlekamp_welch(xs, ys, degree, max_errors);
+    ASSERT_TRUE(via_gao.has_value()) << "trial " << trial;
+    ASSERT_TRUE(via_bw.has_value()) << "trial " << trial;
+    // The unique decoded polynomial must agree coefficient by coefficient.
+    for (std::size_t c = 0; c <= degree; ++c) {
+      const Fp g = c < via_gao->size() ? (*via_gao)[c] : Fp(0);
+      const Fp w = c < via_bw->size() ? (*via_bw)[c] : Fp(0);
+      EXPECT_EQ(g.value(), w.value()) << "trial " << trial << " coeff " << c;
+    }
+  }
+}
+
+TEST(Gao, SharedContextAmortizesAcrossWords) {
+  Rng rng(22);
+  std::vector<Fp> xs(12);
+  for (std::size_t i = 0; i < 12; ++i) xs[i] = Fp(i + 1);
+  GaoContext ctx(xs);
+  for (int word = 0; word < 20; ++word) {
+    std::vector<Fp> coeffs(4);
+    for (auto& c : coeffs) c = Fp(rng.next());
+    std::vector<Fp> ys(12);
+    for (std::size_t i = 0; i < 12; ++i) ys[i] = poly_eval(coeffs, xs[i]);
+    auto bad = rng.sample_without_replacement(12, 3);
+    for (auto b : bad) ys[b] = Fp(rng.next());
+    auto p = ctx.decode(ys, 3, 4);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ((*p)[0], coeffs[0]);
+  }
+}
+
+TEST(Gao, RejectsBeyondBudgetLikeBerlekampWelch) {
+  // With a budget below the actual error count, the final verification
+  // must reject (same contract as berlekamp_welch).
+  Rng rng(23);
+  std::vector<Fp> coeffs{Fp(3), Fp(5)};
+  const std::size_t m = 8;
+  std::vector<Fp> xs(m), ys(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    xs[i] = Fp(i + 1);
+    ys[i] = poly_eval(coeffs, xs[i]);
+  }
+  ys[0] += Fp(1);
+  ys[3] += Fp(2);
+  EXPECT_FALSE(gao_decode(xs, ys, 1, 1).has_value());
+  EXPECT_TRUE(gao_decode(xs, ys, 1, 2).has_value());
+}
+
+TEST(Gao, ZeroCodewordWithErrorsDecodes) {
+  // Regression: f = 0 makes the Euclid remainder sequence bottom out at
+  // the zero polynomial; the decoder must treat that as the zero-message
+  // candidate (and verify it), not as a failure — Berlekamp–Welch decodes
+  // these inputs.
+  std::vector<Fp> xs{Fp(1), Fp(2), Fp(3), Fp(4), Fp(5)};
+  std::vector<Fp> ys{Fp(0), Fp(7), Fp(0), Fp(0), Fp(0)};
+  for (std::size_t degree : {0u, 1u}) {
+    auto via_gao = gao_decode(xs, ys, degree, (5 - degree - 1) / 2);
+    auto via_bw = berlekamp_welch(xs, ys, degree, (5 - degree - 1) / 2);
+    ASSERT_TRUE(via_bw.has_value());
+    ASSERT_TRUE(via_gao.has_value()) << "degree " << degree;
+    EXPECT_EQ((*via_gao)[0], Fp(0));
+    EXPECT_EQ((*via_bw)[0], Fp(0));
+  }
+  // Beyond the budget the zero candidate must still be rejected.
+  std::vector<Fp> noisy{Fp(0), Fp(7), Fp(8), Fp(9), Fp(0)};
+  EXPECT_FALSE(gao_decode(xs, noisy, 0, 2).has_value());
+}
+
+TEST(Gao, ZeroErrorsIsPlainInterpolation) {
+  std::vector<Fp> coeffs{Fp(9), Fp(5), Fp(2)};
+  std::vector<Fp> xs, ys;
+  for (std::size_t i = 1; i <= 7; ++i) {
+    xs.push_back(Fp(i));
+    ys.push_back(poly_eval(coeffs, Fp(i)));
+  }
+  auto p = gao_decode(xs, ys, 2, 2);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ((*p)[0], Fp(9));
+  EXPECT_EQ((*p)[1], Fp(5));
+  EXPECT_EQ((*p)[2], Fp(2));
+}
+
+TEST(Gao, RejectsDuplicatePoints) {
+  std::vector<Fp> xs{Fp(1), Fp(1), Fp(2)};
+  std::vector<Fp> ys{Fp(1), Fp(1), Fp(2)};
+  EXPECT_THROW(GaoContext ctx(xs), std::logic_error);
+  (void)ys;
+}
+
+// -------------------------------------------------------- RobustDecoder --
+
+TEST(RobustDecoder, MatchesRobustReconstructUnderCorruption) {
+  Rng rng(31);
+  SchemeCache cache;
+  ShamirScheme scheme(9, 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto secret = random_secret(rng, 5);
+    auto shares = scheme.deal(secret, rng);
+    const std::size_t errors = rng.below(3);  // budget is (9-4)/2 = 2
+    auto bad = rng.sample_without_replacement(9, errors);
+    for (auto b : bad)
+      for (auto& y : shares[b].ys) y = Fp(rng.next());
+    std::vector<Fp> xs(9);
+    for (std::size_t i = 0; i < 9; ++i) xs[i] = Fp(shares[i].x);
+    auto via_entry = robust_reconstruct(shares, 3);
+    auto via_cache = cache.robust(xs, 3).reconstruct(shares);
+    ASSERT_EQ(via_entry.has_value(), via_cache.has_value());
+    ASSERT_TRUE(via_entry.has_value());
+    EXPECT_EQ(*via_entry, *via_cache);
+    EXPECT_EQ(*via_entry, secret);
+  }
+}
+
+TEST(RobustDecoder, PermutedPointSetStillDecodes) {
+  // send_down groups arrive in chain order, not sorted order; the decoder
+  // must handle any point ordering.
+  Rng rng(32);
+  ShamirScheme scheme(9, 3);
+  auto secret = random_secret(rng, 3);
+  auto shares = scheme.deal(secret, rng);
+  std::swap(shares[0], shares[7]);
+  std::swap(shares[2], shares[5]);
+  for (auto& y : shares[4].ys) y = Fp(rng.next());
+  auto rec = robust_reconstruct(shares, 3);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(*rec, secret);
+}
+
+}  // namespace
+}  // namespace ba

@@ -2,10 +2,53 @@
 // sendDown, sendOpen, and the chain encoding behind them.
 #include <gtest/gtest.h>
 
+#include "common/plurality.h"
 #include "core/share_flow.h"
 
 namespace ba {
 namespace {
+
+/// The seed's O(k^2) recount, kept as the semantic reference for the
+/// sort-based counter (including the first-occurrence tie-break).
+std::uint64_t naive_plurality(const std::vector<std::uint64_t>& values) {
+  std::uint64_t best = values.empty() ? 0 : values[0];
+  std::size_t best_count = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::size_t count = 0;
+    for (const auto& v : values)
+      if (v == values[i]) ++count;
+    if (count > best_count) {
+      best_count = count;
+      best = values[i];
+    }
+  }
+  return best;
+}
+
+TEST(Plurality, SortBasedMatchesNaiveRecount) {
+  Rng rng(123);
+  PluralityCounter counter;
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t k = rng.below(20);
+    std::vector<std::uint64_t> values(k);
+    // Small value range to force collisions and count ties.
+    for (auto& v : values) v = rng.below(4);
+    counter.clear();
+    for (auto v : values) counter.add(v);
+    EXPECT_EQ(counter.winner(), naive_plurality(values)) << "trial " << trial;
+  }
+}
+
+TEST(Plurality, EmptyTallyIsZero) {
+  PluralityCounter counter;
+  EXPECT_EQ(counter.winner(), 0u);
+}
+
+TEST(Plurality, TieGoesToFirstOccurrence) {
+  PluralityCounter counter;
+  for (std::uint64_t v : {7u, 3u, 3u, 7u, 9u}) counter.add(v);
+  EXPECT_EQ(counter.winner(), 7u);  // 7 and 3 both count 2; 7 came first
+}
 
 ProtocolParams tiny_params(std::size_t n = 64, std::size_t q = 4) {
   ProtocolParams p = ProtocolParams::laptop_scale(n);
