@@ -1,6 +1,9 @@
 #include "aeba/aeba_with_coins.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "common/pool.h"
 
 namespace ba {
 
@@ -159,23 +162,29 @@ void AebaMachine::count_received(const Network& net, std::size_t pos,
   commit(pending_env);
 }
 
-void AebaMachine::tally_majority(Network& net) {
+void AebaMachine::tally_majority(const Network& net) {
   std::vector<std::uint64_t> next = votes_;
-  std::vector<std::uint32_t> count_ones(instances_);
-  std::size_t received = 0;
-  for (std::size_t pos = 0; pos < members_.size(); ++pos) {
-    if (net.is_corrupt(members_[pos])) continue;
-    count_received(net, pos, count_ones, received);
-    if (received == 0) continue;
-    for (std::size_t i = 0; i < instances_; ++i) {
-      if (get_bit(locked_, pos, i)) continue;
-      set_bit(next, pos, i, 2 * count_ones[i] >= received);
-    }
-  }
+  // Per-worker tally scratch; each member refills it before reading.
+  std::vector<std::vector<std::uint32_t>> count_scratch(Pool::num_threads());
+  Pool::for_each(
+      members_.size(),
+      [&](std::size_t pos, std::size_t worker) {
+        if (net.is_corrupt(members_[pos])) return;
+        auto& count_ones = count_scratch[worker];
+        count_ones.resize(instances_);
+        std::size_t received = 0;
+        count_received(net, pos, count_ones, received);
+        if (received == 0) return;
+        for (std::size_t i = 0; i < instances_; ++i) {
+          if (get_bit(locked_, pos, i)) continue;
+          set_bit(next, pos, i, 2 * count_ones[i] >= received);
+        }
+      },
+      /*min_grain=*/8);
   votes_ = std::move(next);
 }
 
-void AebaMachine::tally_votes(Network& net, CoinSource& coins,
+void AebaMachine::tally_votes(const Network& net, CoinSource& coins,
                               std::uint64_t protocol_round) {
   std::vector<std::uint64_t> next = votes_;
 
@@ -193,14 +202,18 @@ void AebaMachine::tally_votes(Network& net, CoinSource& coins,
   const double f_prime =
       static_cast<double>(gmaj ? good_ones : good_total - good_ones) /
       static_cast<double>(members_.size());
-  std::size_t informed = 0, informed_denom = 0;
+  // Integral accumulators, so parallel and serial tallies agree exactly.
+  std::atomic<std::size_t> informed{0}, informed_denom{0};
 
-  std::vector<std::uint32_t> count_ones(instances_);
-  for (std::size_t pos = 0; pos < members_.size(); ++pos) {
-    if (net.is_corrupt(members_[pos])) continue;
+  // Per-worker tally scratch; each member refills it before reading.
+  std::vector<std::vector<std::uint32_t>> count_scratch(Pool::num_threads());
+  const auto tally_member = [&](std::size_t pos, std::size_t worker) {
+    if (net.is_corrupt(members_[pos])) return;
+    auto& count_ones = count_scratch[worker];
+    count_ones.resize(instances_);
     std::size_t received = 0;
     count_received(net, pos, count_ones, received);
-    if (received == 0) continue;  // keep current vote
+    if (received == 0) return;  // keep current vote
 
     for (std::size_t i = 0; i < instances_; ++i) {
       const bool maj = 2 * count_ones[i] >= received;
@@ -209,13 +222,14 @@ void AebaMachine::tally_votes(Network& net, CoinSource& coins,
       const double fraction =
           static_cast<double>(maj_count) / static_cast<double>(received);
       if (i == 0) {
-        ++informed_denom;
+        informed_denom.fetch_add(1, std::memory_order_relaxed);
         const bool lower_ok = fraction >= (1.0 - params_.eps0) * f_prime;
         const bool upper_ok =
             fraction <= (1.0 + params_.eps0) *
                             (f_prime + 1.0 / 3.0 - params_.eps) ||
             f_prime + 1.0 / 3.0 >= 1.0;  // vacuous when bound exceeds 1
-        if (lower_ok && upper_ok) ++informed;
+        if (lower_ok && upper_ok)
+          informed.fetch_add(1, std::memory_order_relaxed);
       }
       if (get_bit(locked_, pos, i)) continue;  // committed (decide rule)
       const double lock_at = protocol_round == 0
@@ -229,11 +243,20 @@ void AebaMachine::tally_votes(Network& net, CoinSource& coins,
         set_bit(next, pos, i, coins.coin(pos, i, protocol_round));
       }
     }
+  };
+  if (coins.concurrent_safe()) {
+    Pool::for_each(members_.size(), tally_member, /*min_grain=*/8);
+  } else {
+    // Order-sensitive coin source (e.g. a lazily drawn shared-Rng cache):
+    // keep the serial draw order.
+    for (std::size_t pos = 0; pos < members_.size(); ++pos)
+      tally_member(pos, 0);
   }
   informed_fraction_ =
       informed_denom == 0
           ? 1.0
-          : static_cast<double>(informed) / static_cast<double>(informed_denom);
+          : static_cast<double>(informed.load()) /
+                static_cast<double>(informed_denom.load());
   votes_ = std::move(next);
 }
 

@@ -77,6 +77,15 @@ class CoinSource {
   virtual ~CoinSource() = default;
   virtual bool coin(std::size_t member_pos, std::size_t instance,
                     std::uint64_t protocol_round) = 0;
+
+  /// True when coin() is safe to call from pool workers concurrently AND
+  /// its value depends only on (member_pos, instance, protocol_round) —
+  /// not on call order. Sources that lazily draw from a shared Rng (e.g.
+  /// SharedRandomCoins' first-access cache fill) must return false, or a
+  /// parallel tally would perturb the draw order; pure table lookups like
+  /// the tournament's exposed-word buffers return true. Gates whether
+  /// AebaMachine::tally_votes fans out across members.
+  virtual bool concurrent_safe() const { return false; }
 };
 
 /// Reliable shared coin: every member sees the same fresh random bit each
@@ -141,8 +150,12 @@ class AebaMachine {
   void send_votes(Network& net) const;
 
   /// Consume delivered votes and apply the maj/coin rule at every good
-  /// member. `protocol_round` feeds the coin source.
-  void tally_votes(Network& net, CoinSource& coins,
+  /// member. `protocol_round` feeds the coin source. Members are
+  /// independent, so the tally fans out across pool workers when the coin
+  /// source is concurrent-safe (serial execution is byte-identical: all
+  /// cross-member accumulation is integral and per-member state is
+  /// member-indexed).
+  void tally_votes(const Network& net, CoinSource& coins,
                    std::uint64_t protocol_round);
 
   /// Coin-free cleanup round: every unlocked good member adopts its local
@@ -151,7 +164,8 @@ class AebaMachine {
   /// reach the keep-threshold onto the common value before committing
   /// (harmless asymptotically, essential at laptop scale — see
   /// AebaParams::lock_threshold and experiment E12's ablation).
-  void tally_majority(Network& net);
+  /// Always fans out across pool workers (no coin source involved).
+  void tally_majority(const Network& net);
 
   /// Build a correctly framed vote payload — used by adversary strategies
   /// to inject votes from corrupted members.

@@ -20,6 +20,16 @@ namespace ba {
 /// Stateless 64-bit mixer; used for seeding and for hash-derived streams.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Incremental FNV-1a over 64-bit words — the one mixer behind cache
+/// bucket hashes, precompute fingerprints, and test run digests.
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ULL;
+  void mix(std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  }
+};
+
 /// xoshiro256** generator with convenience sampling helpers.
 class Rng {
  public:

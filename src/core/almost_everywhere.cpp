@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "aeba/aeba_with_coins.h"
+#include "common/pool.h"
 #include "election/feige.h"
 
 namespace ba {
@@ -26,6 +27,9 @@ class BufferCoins : public CoinSource {
     const std::size_t b = instance % bits_;
     return (((*buffer_)[pos * r_ + c]) >> b) & 1;
   }
+  /// Pure table lookup over words exposed before the tally starts:
+  /// order-independent, so the tally may fan out across workers.
+  bool concurrent_safe() const override { return true; }
 
  private:
   const std::vector<std::uint64_t>* buffer_;
@@ -142,10 +146,13 @@ AeResult AlmostEverywhereBA::run(Network& net, Adversary& adversary,
 
     // Phase B: agree on bin choices (Algorithm 1 step 1) — one AEBA
     // machine per node, r * bits instances, coins from candidate blocks.
+    // Elections are node-local state with per-node forked Rng streams, so
+    // machine construction fans out across the pool.
     const std::size_t k = tree_.node(lvl, 0).members.size();
-    for (auto& e : elections) {
+    Pool::for_each(elections.size(), [&](std::size_t ei, std::size_t) {
+      NodeElection& e = elections[ei];
       const std::size_t r = e.candidates.size();
-      if (r <= params_.w) continue;  // trivial: everyone advances
+      if (r <= params_.w) return;  // trivial: everyone advances
       e.eparams.num_candidates = r;
       e.eparams.num_winners = params_.w;
       const std::size_t bits = e.eparams.bits_per_bin();
@@ -168,8 +175,10 @@ AeResult AlmostEverywhereBA::run(Network& net, Adversary& adversary,
             e.machine->set_input(pos, c * bits + b, (bin >> b) & 1);
         }
       }
-      max_rounds = std::max(max_rounds, r);
-    }
+    });
+    for (const auto& e : elections)
+      if (e.machine != nullptr)
+        max_rounds = std::max(max_rounds, e.candidates.size());
 
     for (std::size_t j = 0; j < max_rounds; ++j) {
       // Expose round-j coins: candidate j's coin words (Definition 4: the
@@ -196,9 +205,14 @@ AeResult AlmostEverywhereBA::run(Network& net, Adversary& adversary,
           if (e.machine != nullptr && j < e.candidates.size())
             rusher->rush_votes(*e.machine, net, net.round());
       net.advance_round();
-      for (auto& e : elections)
+      // Node machines tally independently (each reads only its members'
+      // tag-indexed inboxes): fan out across nodes; the coin sources are
+      // exposed-word buffers, so per-member tallies may nest-fan too.
+      Pool::for_each(elections.size(), [&](std::size_t ei, std::size_t) {
+        NodeElection& e = elections[ei];
         if (e.machine != nullptr && j < e.candidates.size())
           e.machine->tally_votes(net, *e.coins, j);
+      });
     }
     // Coin-free cleanup rounds before committing (see AebaParams).
     for (int cleanup = 0; cleanup < 2; ++cleanup) {
@@ -210,22 +224,28 @@ AeResult AlmostEverywhereBA::run(Network& net, Adversary& adversary,
           if (e.machine != nullptr)
             rusher->rush_votes(*e.machine, net, net.round());
       net.advance_round();
-      for (auto& e : elections)
+      Pool::for_each(elections.size(), [&](std::size_t ei, std::size_t) {
+        NodeElection& e = elections[ei];
         if (e.machine != nullptr) e.machine->tally_majority(net);
+      });
     }
 
     // Phase C: winners — per-member views and the good-majority outcome.
-    double agreement_sum = 0.0;
-    std::size_t agreement_nodes = 0;
+    // Per-election bodies write only election-indexed state; the stats
+    // fold happens serially in election order afterwards, so the floating
+    // point accumulation order never depends on scheduling.
     std::vector<std::vector<std::uint32_t>> winners_per_node(node_count);
-    for (auto& e : elections) {
+    std::vector<double> node_agreement(elections.size(), -1.0);
+    std::vector<std::size_t> node_winners_good(elections.size(), 0);
+    Pool::for_each(elections.size(), [&](std::size_t ei, std::size_t) {
+      NodeElection& e = elections[ei];
       const std::size_t r = e.candidates.size();
       if (e.machine == nullptr) {
         // Trivial election: everyone advances, every member knows it.
         e.truth_winners = e.candidates;
         e.member_winners.assign(k, e.candidates);
         winners_per_node[e.node_idx] = e.candidates;
-        continue;
+        return;
       }
       const std::size_t bits = e.eparams.bits_per_bin();
       const std::size_t nbins = e.eparams.num_bins();
@@ -246,42 +266,57 @@ AeResult AlmostEverywhereBA::run(Network& net, Adversary& adversary,
       for (auto wi : widx) e.truth_winners.push_back(e.candidates[wi]);
       winners_per_node[e.node_idx] = e.truth_winners;
 
-      e.member_winners.resize(k);
-      std::size_t good_members = 0, agreeing = 0;
+      // Members apply the lightest-bin rule to their own agreed bins;
+      // the batch fans out when this election is the only one running.
+      std::vector<std::vector<std::uint32_t>> bins_of_member(
+          k, std::vector<std::uint32_t>(r));
       for (std::size_t pos = 0; pos < k; ++pos) {
-        std::vector<std::uint32_t> my_bins(r);
         for (std::size_t c = 0; c < r; ++c) {
           std::uint32_t v = 0;
           for (std::size_t b = 0; b < bits; ++b)
             v |= e.machine->vote_of(pos, c * bits + b) ? (1u << b) : 0u;
-          my_bins[c] = v % nbins;
+          bins_of_member[pos][c] = v % nbins;
         }
-        std::vector<std::uint32_t> mine =
-            lightest_bin_winners(my_bins, e.eparams);
+      }
+      std::vector<std::vector<std::uint32_t>> member_widx =
+          lightest_bin_winners_batch(bins_of_member, e.eparams);
+      auto sorted_truth = e.truth_winners;
+      std::sort(sorted_truth.begin(), sorted_truth.end());
+      e.member_winners.resize(k);
+      std::size_t good_members = 0, agreeing = 0;
+      for (std::size_t pos = 0; pos < k; ++pos) {
         e.member_winners[pos].clear();
-        for (auto wi : mine) e.member_winners[pos].push_back(e.candidates[wi]);
+        for (auto wi : member_widx[pos])
+          e.member_winners[pos].push_back(e.candidates[wi]);
         std::sort(e.member_winners[pos].begin(), e.member_winners[pos].end());
         if (!net.is_corrupt(members[pos])) {
           ++good_members;
-          auto sorted_truth = e.truth_winners;
-          std::sort(sorted_truth.begin(), sorted_truth.end());
           if (e.member_winners[pos] == sorted_truth) ++agreeing;
         }
       }
-      if (good_members > 0) {
-        agreement_sum += static_cast<double>(agreeing) /
-                         static_cast<double>(good_members);
-        ++agreement_nodes;
-      }
+      if (good_members > 0)
+        node_agreement[ei] = static_cast<double>(agreeing) /
+                             static_cast<double>(good_members);
 
-      stats.elections += 1;
-      stats.winners_total += e.truth_winners.size();
       for (std::size_t wi = 0; wi < widx.size(); ++wi) {
         const ArrayState& a = arrays[e.truth_winners[wi]];
         const std::uint32_t true_bin = bin_choice_from_word(
             a.truth[layout_.bin_word(lvl)], nbins);
         if (a.owner_good_at_gen && truth_bins[widx[wi]] == true_bin)
-          stats.winners_good += 1;
+          node_winners_good[ei] += 1;
+      }
+    });
+    double agreement_sum = 0.0;
+    std::size_t agreement_nodes = 0;
+    for (std::size_t ei = 0; ei < elections.size(); ++ei) {
+      const NodeElection& e = elections[ei];
+      if (e.machine == nullptr) continue;
+      stats.elections += 1;
+      stats.winners_total += e.truth_winners.size();
+      stats.winners_good += node_winners_good[ei];
+      if (node_agreement[ei] >= 0.0) {
+        agreement_sum += node_agreement[ei];
+        ++agreement_nodes;
       }
     }
     stats.mean_bin_agreement =

@@ -27,6 +27,8 @@ namespace ba {
 /// Per-point-set precompute for Gao decoding: g0(x) = prod (x - x_i) and
 /// the inverted Newton denominators. Requires distinct xs (throws
 /// std::logic_error otherwise). Reusable across any number of ys vectors.
+/// Immutable after construction: decode() keeps its working polynomials
+/// on the stack, so one context may serve concurrent pool workers.
 class GaoContext {
  public:
   explicit GaoContext(std::vector<Fp> xs);

@@ -36,6 +36,20 @@ std::vector<VectorShare> CachedScheme::deal(const std::vector<Fp>& secret,
 
 void CachedScheme::deal_into(const std::vector<Fp>& secret, Rng& rng,
                              std::vector<VectorShare>& out) const {
+  deal_into(secret, rng, out, scratch_);
+}
+
+std::uint64_t CachedScheme::precompute_fingerprint() const {
+  Fnv1a d;
+  d.mix(n_);
+  d.mix(t_);
+  for (const Fp& v : vand_) d.mix(v.value());
+  return d.h;
+}
+
+void CachedScheme::deal_into(const std::vector<Fp>& secret, Rng& rng,
+                             std::vector<VectorShare>& out,
+                             DealScratch& scratch) const {
   const std::size_t words = secret.size();
   out.resize(n_);
   for (std::size_t i = 0; i < n_; ++i) {
@@ -50,9 +64,10 @@ void CachedScheme::deal_into(const std::vector<Fp>& secret, Rng& rng,
   // Draw every word's random coefficients first, in the seed's order
   // (word-major, degrees 1..t) — this keeps cached dealing byte-identical
   // to ShamirScheme::deal for the same Rng state.
-  coeffs_.resize(words * t_);
+  std::vector<Fp>& coeffs = scratch.coeffs;
+  coeffs.resize(words * t_);
   for (std::size_t w = 0; w < words; ++w)
-    for (std::size_t j = 0; j < t_; ++j) coeffs_[w * t_ + j] = Fp(rng.next());
+    for (std::size_t j = 0; j < t_; ++j) coeffs[w * t_ + j] = Fp(rng.next());
   // Y = secret + V * C, blocked four words at a time with deferred
   // reduction: raw 128-bit products accumulate unreduced (each term is
   // < 2^122, so up to kChunk = 60 terms fit in the accumulator) and fold
@@ -77,7 +92,7 @@ void CachedScheme::deal_into(const std::vector<Fp>& secret, Rng& rng,
     std::vector<Fp>& ys = out[i].ys;
     std::size_t w = 0;
     for (; w + 4 <= words; w += 4) {
-      const Fp* c0 = &coeffs_[w * t_];
+      const Fp* c0 = &coeffs[w * t_];
       const Fp* c1 = c0 + t_;
       const Fp* c2 = c1 + t_;
       const Fp* c3 = c2 + t_;
@@ -105,7 +120,7 @@ void CachedScheme::deal_into(const std::vector<Fp>& secret, Rng& rng,
       ys[w + 3] = Fp(fold(a3));
     }
     for (; w < words; ++w) {
-      const Fp* cw = &coeffs_[w * t_];
+      const Fp* cw = &coeffs[w * t_];
       unsigned __int128 acc = secret[w].value();
       for (std::size_t j0 = 0; j0 < t_; j0 += kChunk) {
         const std::size_t j1 = std::min(j0 + kChunk, t_);
@@ -148,19 +163,36 @@ RobustDecoder::RobustDecoder(std::vector<Fp> xs,
     for (std::size_t i = k; i < m; ++i)
       check_rows_.push_back(interp_->row_at(xs_[i]));
   }
-  ys_.resize(m);
-  head_.resize(k);
 }
 
-std::optional<Fp> RobustDecoder::decode_word() const {
+std::uint64_t RobustDecoder::precompute_fingerprint() const {
+  Fnv1a d;
+  d.mix(t_);
+  d.mix(max_errors_);
+  d.mix(fast_ ? 1 : 0);
+  d.mix(all_distinct_ ? 1 : 0);
+  for (const Fp& x : xs_) d.mix(x.value());
+  for (const auto& row : check_rows_)
+    for (const Fp& v : row) d.mix(v.value());
+  return d.h;
+}
+
+const GaoContext& RobustDecoder::gao() const {
+  // First damaged word pays the setup; call_once makes the handoff safe
+  // when workers race here, and the context is immutable afterwards.
+  std::call_once(gao_once_, [this] { gao_.emplace(xs_); });
+  return *gao_;
+}
+
+std::optional<Fp> RobustDecoder::decode_word(Scratch& scratch) const {
   std::optional<std::vector<Fp>> p;
-  if (!fast_) p = berlekamp_welch(xs_, ys_, t_, 0);  // degenerate point set
+  if (!fast_)
+    p = berlekamp_welch(xs_, scratch.ys, t_, 0);  // degenerate point set
   if (!p && max_errors_ > 0) {
     if (all_distinct_) {
-      if (!gao_) gao_.emplace(xs_);  // first damaged word pays the setup
-      p = gao_->decode(ys_, t_, max_errors_);
+      p = gao().decode(scratch.ys, t_, max_errors_);
     } else {
-      p = berlekamp_welch(xs_, ys_, t_, max_errors_);
+      p = berlekamp_welch(xs_, scratch.ys, t_, max_errors_);
     }
   }
   if (!p) return std::nullopt;
@@ -169,28 +201,37 @@ std::optional<Fp> RobustDecoder::decode_word() const {
 
 std::optional<std::vector<Fp>> RobustDecoder::reconstruct(
     const std::vector<VectorShare>& shares) const {
+  return reconstruct(shares, scratch_);
+}
+
+std::optional<std::vector<Fp>> RobustDecoder::reconstruct(
+    const std::vector<VectorShare>& shares, Scratch& scratch) const {
   const std::size_t m = xs_.size();
   BA_REQUIRE(shares.size() == m, "share count must match the point set");
   const std::size_t words = shares.empty() ? 0 : shares.front().ys.size();
   const std::size_t k = t_ + 1;
   for (std::size_t i = 0; i < m; ++i)
     BA_REQUIRE(shares[i].ys.size() == words, "ragged share vectors");
+  scratch.ys.resize(m);
+  scratch.head.resize(k);
   std::vector<Fp> secret(words);
   for (std::size_t w = 0; w < words; ++w) {
-    for (std::size_t i = 0; i < m; ++i) ys_[i] = shares[i].ys[w];
+    for (std::size_t i = 0; i < m; ++i) scratch.ys[i] = shares[i].ys[w];
     bool clean = fast_;
     if (fast_) {
-      std::copy(ys_.begin(), ys_.begin() + static_cast<std::ptrdiff_t>(k),
-                head_.begin());
+      std::copy(scratch.ys.begin(),
+                scratch.ys.begin() + static_cast<std::ptrdiff_t>(k),
+                scratch.head.begin());
       for (std::size_t i = 0; clean && i < check_rows_.size(); ++i)
-        clean = BarycentricInterpolator::eval_row(check_rows_[i], head_) ==
-                ys_[k + i];
+        clean = BarycentricInterpolator::eval_row(check_rows_[i],
+                                                  scratch.head) ==
+                scratch.ys[k + i];
     }
     if (clean) {
-      secret[w] = interp_->eval_at_zero(head_);
+      secret[w] = interp_->eval_at_zero(scratch.head);
       continue;
     }
-    auto value = decode_word();
+    auto value = decode_word(scratch);
     if (!value) return std::nullopt;
     secret[w] = *value;
   }
@@ -215,13 +256,10 @@ const CachedScheme& SchemeCache::scheme(std::size_t num_shares,
 
 const RobustDecoder& SchemeCache::robust(const std::vector<Fp>& xs,
                                          std::size_t privacy_threshold) {
-  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over (t, xs)
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ULL;
-  };
-  mix(privacy_threshold);
-  for (const Fp& x : xs) mix(x.value());
+  Fnv1a d;  // bucket hash over (t, xs)
+  d.mix(privacy_threshold);
+  for (const Fp& x : xs) d.mix(x.value());
+  const std::uint64_t h = d.h;
   {
     auto it = decoders_.find(h);
     if (it != decoders_.end())

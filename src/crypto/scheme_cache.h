@@ -26,12 +26,23 @@
 //    stable addresses; a ShareFlow holds one cache for its lifetime, so
 //    every dealing after the first per shape is free of setup cost.
 //
-// Not thread-safe (the simulator is single-threaded); decoders keep
-// per-word scratch buffers across calls for zero steady-state allocation.
+// Threading (the parallel round engine, common/pool.h): precompute and
+// per-call scratch are split explicitly. Everything computed at
+// construction — dealing matrices, barycentric rows, Gao point-set
+// contexts — is immutable afterwards (asserted via
+// precompute_fingerprint() in the tests) and safe to share read-only
+// across workers. Per-call scratch is the caller's: the deal_into /
+// reconstruct overloads taking an explicit Scratch are const and
+// thread-safe when each worker owns its Scratch. The scratch-less
+// convenience overloads fall back to one internal buffer and stay
+// single-threaded, as does SchemeCache itself (its maps mutate on
+// lookup); give each worker its own cache, or pre-warm and use the
+// decoder references concurrently.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +58,12 @@ namespace ba {
 /// points are the scheme's canonical x = 1..n.
 class CachedScheme {
  public:
+  /// Per-call coefficient-draw scratch; own one per worker for concurrent
+  /// dealing against a shared scheme.
+  struct DealScratch {
+    std::vector<Fp> coeffs;  ///< word-major draws (words x t)
+  };
+
   CachedScheme(std::size_t num_shares, std::size_t privacy_threshold);
 
   std::size_t num_shares() const { return n_; }
@@ -59,15 +76,27 @@ class CachedScheme {
                                 Rng& rng) const;
 
   /// Deal into a reused share vector (resized/overwritten) — the
-  /// zero-allocation steady state for tight re-dealing loops.
+  /// zero-allocation steady state for tight re-dealing loops. Uses the
+  /// internal scratch: single caller at a time.
   void deal_into(const std::vector<Fp>& secret, Rng& rng,
                  std::vector<VectorShare>& out) const;
+
+  /// Scratch-explicit dealing: touches no member state besides the
+  /// immutable precompute, so concurrent calls with distinct scratches
+  /// (and distinct Rngs) are safe.
+  void deal_into(const std::vector<Fp>& secret, Rng& rng,
+                 std::vector<VectorShare>& out, DealScratch& scratch) const;
+
+  /// Order-independent digest of the precompute (the dealing matrix).
+  /// Stable for the lifetime of the scheme; tests assert no call path
+  /// mutates it.
+  std::uint64_t precompute_fingerprint() const;
 
  private:
   std::size_t n_;
   std::size_t t_;
   std::vector<Fp> vand_;  ///< row-major n x t: vand_[i*t + j] = (i+1)^{j+1}
-  mutable std::vector<Fp> coeffs_;  ///< word-major draw scratch (words x t)
+  mutable DealScratch scratch_;  ///< backs the scratch-less overload
 };
 
 /// Robust word-vector decoding over one fixed point set: the shared
@@ -75,6 +104,13 @@ class CachedScheme {
 /// matters (shares must be passed in the same order as `xs`).
 class RobustDecoder {
  public:
+  /// Per-word value scratch; own one per worker for concurrent decoding
+  /// against a shared decoder.
+  struct Scratch {
+    std::vector<Fp> ys;    ///< all m values of the current word
+    std::vector<Fp> head;  ///< first t+1 values
+  };
+
   /// `xs` are the shares' evaluation points in share order; `t` the privacy
   /// threshold. The error budget is (xs.size() - t - 1) / 2, as in
   /// robust_reconstruct().
@@ -86,11 +122,25 @@ class RobustDecoder {
 
   /// Per-word robust reconstruction of shares (whose x values must match
   /// points(), in order). Returns nullopt if any word fails to decode.
+  /// Uses the internal scratch: single caller at a time.
   std::optional<std::vector<Fp>> reconstruct(
       const std::vector<VectorShare>& shares) const;
 
+  /// Scratch-explicit reconstruction: besides `scratch`, only the
+  /// immutable precompute is touched (the lazily built Gao context is
+  /// guarded by std::call_once and immutable once built), so concurrent
+  /// calls with distinct scratches are safe.
+  std::optional<std::vector<Fp>> reconstruct(
+      const std::vector<VectorShare>& shares, Scratch& scratch) const;
+
+  /// Order-independent digest of the precompute (points, fast-path rows,
+  /// flags). Stable for the decoder's lifetime; tests assert no call path
+  /// mutates it.
+  std::uint64_t precompute_fingerprint() const;
+
  private:
-  std::optional<Fp> decode_word() const;  ///< operates on ys_ scratch
+  std::optional<Fp> decode_word(Scratch& scratch) const;
+  const GaoContext& gao() const;  ///< built on first damaged word
 
   std::vector<Fp> xs_;
   std::size_t t_;
@@ -99,9 +149,9 @@ class RobustDecoder {
   bool all_distinct_ = false;  ///< Gao usable (every point distinct)
   std::optional<BarycentricInterpolator> interp_;  ///< through first t+1
   std::vector<std::vector<Fp>> check_rows_;  ///< one per redundant point
-  mutable std::optional<GaoContext> gao_;    ///< built on first damaged word
-  mutable std::vector<Fp> ys_;    ///< per-word value scratch
-  mutable std::vector<Fp> head_;  ///< first t+1 values scratch
+  mutable std::once_flag gao_once_;          ///< one-shot Gao construction
+  mutable std::optional<GaoContext> gao_;    ///< immutable once built
+  mutable Scratch scratch_;  ///< backs the scratch-less overload
 };
 
 /// Owner of cached schemes and decoders. scheme() references stay valid

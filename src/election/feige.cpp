@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/pool.h"
+
 namespace ba {
 
 std::vector<std::uint32_t> lightest_bin_winners(
@@ -41,6 +43,19 @@ std::vector<std::uint32_t> lightest_bin_winners(
     std::sort(winners.begin(), winners.end());
   }
   return winners;
+}
+
+std::vector<std::vector<std::uint32_t>> lightest_bin_winners_batch(
+    const std::vector<std::vector<std::uint32_t>>& bins_of_voter,
+    const ElectionParams& params) {
+  std::vector<std::vector<std::uint32_t>> out(bins_of_voter.size());
+  Pool::for_each(
+      bins_of_voter.size(),
+      [&](std::size_t v, std::size_t) {
+        out[v] = lightest_bin_winners(bins_of_voter[v], params);
+      },
+      /*min_grain=*/8);
+  return out;
 }
 
 }  // namespace ba

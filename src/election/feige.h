@@ -56,4 +56,13 @@ inline std::uint32_t bin_choice_from_word(std::uint64_t word,
 std::vector<std::uint32_t> lightest_bin_winners(
     const std::vector<std::uint32_t>& bins, const ElectionParams& params);
 
+/// Batch form for the tournament's per-member winner views: voter v's
+/// winner set is lightest_bin_winners(bins_of_voter[v], params). Voters
+/// are independent (each applies Algorithm 1 step 2 to its own agreed bin
+/// vector), so the batch fans out across pool workers; results are
+/// identical to the serial loop at any worker count.
+std::vector<std::vector<std::uint32_t>> lightest_bin_winners_batch(
+    const std::vector<std::vector<std::uint32_t>>& bins_of_voter,
+    const ElectionParams& params);
+
 }  // namespace ba

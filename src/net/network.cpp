@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/pool.h"
 
 namespace ba {
 
@@ -13,7 +14,6 @@ Network::Network(std::size_t n, std::size_t max_corrupt)
       staging_(n),
       inboxes_(n),
       inbox_spans_(n),
-      sender_slot_(n, 0),
       ledger_(n) {
   BA_REQUIRE(n > 0, "network needs at least one processor");
   BA_REQUIRE(max_corrupt < n, "adversary cannot own every processor");
@@ -69,91 +69,104 @@ void Network::flush_charge_batch() const {
   batch_bits_ = 0;
 }
 
+void Network::deliver_bucket(ProcId p, DeliveryScratch& s) {
+  auto& in = inboxes_[p];
+  auto& spans = inbox_spans_[p];
+  in.clear();
+  spans.clear();
+  auto& stage = staging_[p];
+  if (stage.empty()) return;
+  if (s.sender_slot.size() < n_) s.sender_slot.assign(n_, 0);
+  // One pass: charge receipts, count per sender, detect sorted input
+  // and tag uniformity (one compare — almost every bucket carries a
+  // single tag, and that case must stay as cheap as the seed's).
+  s.touched_senders.clear();
+  bool sorted = true;
+  ProcId prev = 0;
+  const std::uint32_t first_tag = stage.front().payload.tag;
+  bool uniform_tag = true;
+  for (const Envelope& e : stage) {
+    ledger_.charge_recv(p, e.payload.bits());
+    if (s.sender_slot[e.from]++ == 0) s.touched_senders.push_back(e.from);
+    if (e.from < prev) sorted = false;
+    prev = e.from;
+    uniform_tag &= e.payload.tag == first_tag;
+  }
+  if (sorted) {
+    // Already in per-sender order (the common case: drivers iterate
+    // processors in id order) — swap buffers, zero copies.
+    in.swap(stage);
+  } else {
+    // Stable counting sort by sender id: bucket offsets from the touched
+    // senders only, then a single distribution pass. Replaces the seed's
+    // per-inbox comparison stable_sort (and its temp allocations).
+    std::sort(s.touched_senders.begin(), s.touched_senders.end());
+    std::uint32_t offset = 0;
+    for (ProcId sender : s.touched_senders) {
+      const std::uint32_t count = s.sender_slot[sender];
+      s.sender_slot[sender] = offset;
+      offset += count;
+    }
+    in.resize(stage.size());
+    for (Envelope& e : stage) in[s.sender_slot[e.from]++] = std::move(e);
+  }
+  for (ProcId sender : s.touched_senders) s.sender_slot[sender] = 0;
+  stage.clear();
+  if (uniform_tag) {
+    spans.push_back({first_tag, 0, static_cast<std::uint32_t>(in.size())});
+  } else {
+    // Mixed-tag bucket (rare): count the distinct tags in a second
+    // pass — they are few, so a linear scan with a most-recent check
+    // suffices.
+    s.touched_tags.clear();
+    for (const Envelope& e : in) {
+      const std::uint32_t tag = e.payload.tag;
+      if (s.touched_tags.empty() || s.touched_tags.back().first != tag) {
+        auto it = s.touched_tags.begin();
+        for (; it != s.touched_tags.end() && it->first != tag; ++it) {
+        }
+        if (it == s.touched_tags.end())
+          s.touched_tags.emplace_back(tag, 0);
+        else
+          std::swap(*it, s.touched_tags.back());
+      }
+      s.touched_tags.back().second += 1;
+    }
+    // Second stable counting pass grouping by tag (ascending), giving
+    // the (tag, sender) lexicographic inbox and its span table in one
+    // distribution sweep.
+    std::sort(s.touched_tags.begin(), s.touched_tags.end());
+    std::uint32_t offset = 0;
+    for (auto& [tag, count] : s.touched_tags) {
+      const std::uint32_t c = count;
+      spans.push_back({tag, offset, offset + c});
+      count = offset;  // becomes this tag's running write cursor
+      offset += c;
+    }
+    s.tag_scratch.resize(in.size());
+    for (Envelope& e : in) {
+      std::uint32_t slot = 0;
+      const std::uint32_t tag = e.payload.tag;
+      while (s.touched_tags[slot].first != tag) ++slot;
+      s.tag_scratch[s.touched_tags[slot].second++] = std::move(e);
+    }
+    in.swap(s.tag_scratch);
+  }
+}
+
 void Network::advance_round() {
   flush_charge_batch();
-  for (ProcId p = 0; p < n_; ++p) {
-    auto& in = inboxes_[p];
-    auto& spans = inbox_spans_[p];
-    in.clear();
-    spans.clear();
-    auto& stage = staging_[p];
-    if (stage.empty()) continue;
-    // One pass: charge receipts, count per sender, detect sorted input
-    // and tag uniformity (one compare — almost every bucket carries a
-    // single tag, and that case must stay as cheap as the seed's).
-    touched_senders_.clear();
-    bool sorted = true;
-    ProcId prev = 0;
-    const std::uint32_t first_tag = stage.front().payload.tag;
-    bool uniform_tag = true;
-    for (const Envelope& e : stage) {
-      ledger_.charge_recv(p, e.payload.bits());
-      if (sender_slot_[e.from]++ == 0) touched_senders_.push_back(e.from);
-      if (e.from < prev) sorted = false;
-      prev = e.from;
-      uniform_tag &= e.payload.tag == first_tag;
-    }
-    if (sorted) {
-      // Already in per-sender order (the common case: drivers iterate
-      // processors in id order) — swap buffers, zero copies.
-      in.swap(stage);
-    } else {
-      // Stable counting sort by sender id: bucket offsets from the touched
-      // senders only, then a single distribution pass. Replaces the seed's
-      // per-inbox comparison stable_sort (and its temp allocations).
-      std::sort(touched_senders_.begin(), touched_senders_.end());
-      std::uint32_t offset = 0;
-      for (ProcId s : touched_senders_) {
-        const std::uint32_t count = sender_slot_[s];
-        sender_slot_[s] = offset;
-        offset += count;
-      }
-      in.resize(stage.size());
-      for (Envelope& e : stage) in[sender_slot_[e.from]++] = std::move(e);
-    }
-    for (ProcId s : touched_senders_) sender_slot_[s] = 0;
-    stage.clear();
-    if (uniform_tag) {
-      spans.push_back({first_tag, 0, static_cast<std::uint32_t>(in.size())});
-    } else {
-      // Mixed-tag bucket (rare): count the distinct tags in a second
-      // pass — they are few, so a linear scan with a most-recent check
-      // suffices.
-      touched_tags_.clear();
-      for (const Envelope& e : in) {
-        const std::uint32_t tag = e.payload.tag;
-        if (touched_tags_.empty() || touched_tags_.back().first != tag) {
-          auto it = touched_tags_.begin();
-          for (; it != touched_tags_.end() && it->first != tag; ++it) {
-          }
-          if (it == touched_tags_.end())
-            touched_tags_.emplace_back(tag, 0);
-          else
-            std::swap(*it, touched_tags_.back());
-        }
-        touched_tags_.back().second += 1;
-      }
-      // Second stable counting pass grouping by tag (ascending), giving
-      // the (tag, sender) lexicographic inbox and its span table in one
-      // distribution sweep.
-      std::sort(touched_tags_.begin(), touched_tags_.end());
-      std::uint32_t offset = 0;
-      for (auto& [tag, count] : touched_tags_) {
-        const std::uint32_t c = count;
-        spans.push_back({tag, offset, offset + c});
-        count = offset;  // becomes this tag's running write cursor
-        offset += c;
-      }
-      tag_scratch_.resize(in.size());
-      for (Envelope& e : in) {
-        std::uint32_t slot = 0;
-        const std::uint32_t tag = e.payload.tag;
-        while (touched_tags_[slot].first != tag) ++slot;
-        tag_scratch_[touched_tags_[slot].second++] = std::move(e);
-      }
-      in.swap(tag_scratch_);
-    }
-  }
+  if (delivery_scratch_.size() < Pool::num_threads())
+    delivery_scratch_.resize(Pool::num_threads());
+  // Per-receiver buckets are independent after staging: fan delivery out
+  // across the pool (see the threading-model note in network.h). The
+  // grain keeps empty-bucket receivers from dominating dispatch cost.
+  Pool::for_each(
+      n_,
+      [this](std::size_t p, std::size_t worker) {
+        deliver_bucket(static_cast<ProcId>(p), delivery_scratch_[worker]);
+      },
+      /*min_grain=*/64);
   pending_log_.clear();
   visible_.clear();
   visible_dirty_ = false;

@@ -41,6 +41,24 @@
 // two amortized sender updates. The adversary's view is an
 // incrementally-maintained index of visible envelopes, rebuilt lazily only
 // when a mid-round corruption changes which envelopes are visible.
+//
+// Threading model (the parallel round engine, common/pool.h): sends,
+// corruptions, and adversary reads are driver-side and single-threaded —
+// only advance_round() fans out, over receivers, after the charge batch
+// is flushed. What each worker touches:
+//   * shared read-only during delivery: the corruption mask and the
+//     network shape (n);
+//   * per-receiver (disjoint across workers): staging_[p], inboxes_[p],
+//     inbox_spans_[p], and the receiver row bits_recv_[p] of the ledger —
+//     receiver p's entire delivery, including its recv charges, runs on
+//     exactly one worker;
+//   * per-worker: the counting-sort scratch (DeliveryScratch), one slot
+//     per pool worker, reused across rounds and (re)initialized per
+//     bucket so worker assignment is unobservable.
+// Determinism contract: a receiver's delivered inbox is a pure function
+// of its staging bucket, so BA_THREADS=1 and BA_THREADS=N produce
+// byte-identical inboxes, span tables, and ledgers at every round
+// (asserted by tests/parallel_parity_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -161,7 +179,20 @@ class Network {
     std::uint32_t end = 0;
   };
 
+  /// Counting-sort scratch: one instance per pool worker, reused across
+  /// rounds. Every field is (re)initialized by each bucket that uses it,
+  /// so which worker delivers which receiver is unobservable.
+  struct DeliveryScratch {
+    std::vector<std::uint32_t> sender_slot;
+    std::vector<ProcId> touched_senders;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> touched_tags;
+    std::vector<Envelope> tag_scratch;
+  };
+
   void flush_charge_batch() const;
+  /// Deliver receiver p's staged bucket into its inbox + span table and
+  /// charge its receipts. Touches only p-indexed state plus `s`.
+  void deliver_bucket(ProcId p, DeliveryScratch& s);
 
   std::size_t n_;
   std::size_t max_corrupt_;
@@ -171,11 +202,7 @@ class Network {
   std::vector<std::vector<Envelope>> staging_;  ///< per-receiver pending
   std::vector<std::vector<Envelope>> inboxes_;
   std::vector<std::vector<TagSpan>> inbox_spans_;  ///< per-receiver tag index
-  // Counting-sort scratch, shared across receivers and reused every round.
-  std::vector<std::uint32_t> sender_slot_;
-  std::vector<ProcId> touched_senders_;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> touched_tags_;
-  std::vector<Envelope> tag_scratch_;
+  std::vector<DeliveryScratch> delivery_scratch_;  ///< [pool worker]
   // All pending envelopes in global send order (storage reused across
   // rounds); keeps the adversary's view deterministic when it has to be
   // rebuilt after a mid-round corruption.

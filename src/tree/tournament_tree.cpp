@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/pool.h"
+
 namespace ba {
 
 TournamentTree::TournamentTree(const TreeParams& params, Rng& rng)
@@ -85,9 +87,12 @@ TournamentTree::TournamentTree(const TreeParams& params, Rng& rng)
   }
 
   // ell-links: member position -> d_link distinct descendant leaf nodes.
+  // Each node draws from its own (level, index)-forked Rng stream, so the
+  // per-node loop fans out across pool workers with results identical to
+  // the serial order at any worker count.
   for (std::size_t lvl = 2; lvl <= height; ++lvl) {
     auto& nodes = levels_[lvl - 1];
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
+    Pool::for_each(nodes.size(), [&](std::size_t i, std::size_t) {
       auto& nd = nodes[i];
       const std::size_t span = nd.leaf_end - nd.leaf_begin;
       const std::size_t d = std::min(params.d_link, span);
@@ -100,7 +105,7 @@ TournamentTree::TournamentTree(const TreeParams& params, Rng& rng)
           nd.ell[pos].push_back(
               static_cast<std::uint32_t>(nd.leaf_begin + r));
       }
-    }
+    });
   }
 }
 

@@ -1,0 +1,160 @@
+// Adversary scenario matrix: every concrete strategy in
+// adversary/strategies.h driven against both the paper's protocol stack
+// (everywhere BA = tournament AEBA + A2E) and the quadratic baseline
+// (Ben-Or), under the parallel round engine (4 pool workers). Each cell
+// asserts the protocol-level invariants that must survive that attack —
+// agreement among good processors, validity of the decided bit against
+// the unanimous good input, and the adaptive-corruption budget — so a
+// strategy regression (an attack silently becoming a no-op) or a
+// protocol regression (an attack suddenly winning) both fail loudly.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/strategies.h"
+#include "baseline/benor_ba.h"
+#include "common/pool.h"
+#include "core/everywhere.h"
+
+namespace ba {
+namespace {
+
+/// The four strategies, constructed fresh per cell (strategies hold Rng
+/// state and AdaptiveWinnerTakeover accumulates observations).
+std::unique_ptr<Adversary> make_strategy(int which, std::uint64_t seed) {
+  switch (which) {
+    case 0:
+      return std::make_unique<StaticMaliciousAdversary>(0.15, seed);
+    case 1:
+      return std::make_unique<CrashAdversary>(0.20, seed);
+    case 2:
+      return std::make_unique<AdaptiveWinnerTakeover>(seed);
+    default:
+      return std::make_unique<FloodingA2EAdversary>(0.15, seed,
+                                                    /*flood_per_pair=*/64);
+  }
+}
+
+const char* strategy_name(int which) {
+  switch (which) {
+    case 0:
+      return "static-malicious";
+    case 1:
+      return "crash";
+    case 2:
+      return "adaptive-winner-takeover";
+    default:
+      return "a2e-flooding";
+  }
+}
+
+class AdversaryMatrixTest : public ::testing::Test {
+ protected:
+  // The matrix is an explicit parallel-engine workload: TSan CI runs it
+  // with real worker fan-out across delivery, elections, and tallies.
+  void SetUp() override { Pool::set_threads(4); }
+  void TearDown() override { Pool::set_threads(0); }
+};
+
+TEST_F(AdversaryMatrixTest, EverywhereBaSurvivesEveryStrategy) {
+  const std::size_t n = 64;
+  for (int which = 0; which < 4; ++which) {
+    SCOPED_TRACE(strategy_name(which));
+    Network net(n, n / 3);
+    auto adversary = make_strategy(which, 1000 + which);
+    // Unanimous good inputs: validity then pins the decided bit, so a
+    // successful attack cannot hide behind a "both answers were valid"
+    // split start.
+    std::vector<std::uint8_t> inputs(n, 1);
+    EverywhereBA protocol = EverywhereBA::make(n, 70 + which);
+    EverywhereResult result = protocol.run(net, *adversary, inputs);
+
+    // Corruption budget: the (1/3 - eps) cap held throughout.
+    EXPECT_LE(net.corrupt_count(), n / 3);
+    // Validity: the decided bit is the unanimous good input.
+    EXPECT_TRUE(result.validity);
+    EXPECT_TRUE(result.decided_bit);
+    if (which == 2) {
+      // The full-budget adaptive takeover (experiment E10) measurably
+      // erodes laptop-scale agreement — the theorem's constants want
+      // larger n — but a strong majority of good processors must still
+      // hold the valid bit, and the attack must actually have spent
+      // adaptive corruptions to get even that far.
+      EXPECT_GE(result.ae.agreement_fraction, 0.6);
+      EXPECT_GE(net.corrupt_count(), n / 6);
+    } else {
+      // Bounded-fraction strategies: the tournament keeps almost all
+      // good processors together and A2E finishes the job.
+      EXPECT_TRUE(result.all_good_agree);
+      EXPECT_GE(result.ae.agreement_fraction, 0.8);
+    }
+  }
+}
+
+TEST_F(AdversaryMatrixTest, EverywhereBaSplitInputsStayConsistent) {
+  // Split starts under the two actively lying strategies: whatever bit
+  // wins must be some good processor's input, and the good population
+  // must not be torn apart.
+  const std::size_t n = 64;
+  for (int which : {0, 2}) {
+    SCOPED_TRACE(strategy_name(which));
+    Network net(n, n / 3);
+    auto adversary = make_strategy(which, 2000 + which);
+    std::vector<std::uint8_t> inputs(n);
+    for (std::size_t p = 0; p < n; ++p) inputs[p] = p % 2;
+    EverywhereBA protocol = EverywhereBA::make(n, 90 + which);
+    EverywhereResult result = protocol.run(net, *adversary, inputs);
+    EXPECT_LE(net.corrupt_count(), n / 3);
+    EXPECT_TRUE(result.validity);
+    if (which == 2) {
+      EXPECT_GE(result.ae.agreement_fraction, 0.6);  // E10 erosion, see above
+    } else {
+      EXPECT_TRUE(result.all_good_agree);
+    }
+  }
+}
+
+TEST_F(AdversaryMatrixTest, BenOrBaselineSurvivesEveryStrategy) {
+  // Ben-Or tolerates t < n/5; the budget is capped accordingly and every
+  // strategy's corruption attempt is clamped to it by the network.
+  const std::size_t n = 50;
+  for (int which = 0; which < 4; ++which) {
+    SCOPED_TRACE(strategy_name(which));
+    Network net(n, n / 6);
+    auto adversary = make_strategy(which, 3000 + which);
+    auto res = run_benor_ba(net, *adversary, std::vector<std::uint8_t>(n, 1),
+                            7 + which, /*max_rounds=*/300);
+    EXPECT_LE(net.corrupt_count(), n / 6);
+    EXPECT_TRUE(res.decided_bit);
+    EXPECT_TRUE(res.validity);
+    EXPECT_TRUE(res.all_good_agree);
+    EXPECT_GE(res.agreement_fraction, 0.99);
+  }
+}
+
+TEST_F(AdversaryMatrixTest, GreedyStrategiesAreClampedToBudget) {
+  // Strategies asked for far more than the budget allows must be clamped
+  // by the network, not throw through the protocol.
+  const std::size_t n = 64;
+  for (int which = 0; which < 4; ++which) {
+    SCOPED_TRACE(strategy_name(which));
+    Network net(n, n / 8);  // much tighter than the strategies' fractions
+    std::unique_ptr<Adversary> adversary;
+    if (which == 0)
+      adversary = std::make_unique<StaticMaliciousAdversary>(0.9, 4000);
+    else if (which == 1)
+      adversary = std::make_unique<CrashAdversary>(0.9, 4001);
+    else if (which == 2)
+      adversary = std::make_unique<AdaptiveWinnerTakeover>(4002);
+    else
+      adversary = std::make_unique<FloodingA2EAdversary>(0.9, 4003, 256);
+    std::vector<std::uint8_t> inputs(n, 1);
+    EverywhereBA protocol = EverywhereBA::make(n, 110 + which);
+    EverywhereResult result = protocol.run(net, *adversary, inputs);
+    EXPECT_LE(net.corrupt_count(), n / 8);
+    EXPECT_TRUE(result.validity);
+  }
+}
+
+}  // namespace
+}  // namespace ba

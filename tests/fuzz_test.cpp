@@ -7,6 +7,7 @@
 #include "aeba/aeba_with_coins.h"
 #include "core/share_flow.h"
 #include "crypto/berlekamp_welch.h"
+#include "crypto/gao.h"
 #include "election/feige.h"
 
 namespace ba {
@@ -129,6 +130,77 @@ TEST(BerlekampWelchFuzz, AlwaysDecodesWithinBudget) {
         << "d=" << d << " t=" << t << " errors=" << errors;
     EXPECT_EQ(*rec, secret);
   }
+}
+
+TEST(BatchedBerlekampWelchFuzz, DifferentialAgainstGaoAtScale) {
+  // The ROADMAP oracle: Gao (extended Euclid) and batched BW (shared
+  // Vandermonde factorization) are algorithmically unrelated decoders of
+  // the same code, so any disagreement — value or accept/reject — flags
+  // a bug in one of them. >= 10k words across random point sets, error
+  // weights from clean through beyond-budget, plus zero codewords.
+  Rng rng(41);
+  std::size_t cases = 0, damaged = 0, rejected = 0, zero_words = 0;
+  while (cases < 10000) {
+    const std::size_t degree = rng.below(7);
+    const std::size_t budget = rng.below(5);
+    const std::size_t m = degree + 1 + 2 * budget + rng.below(4);
+    // Random distinct points (distinctness via distinct multipliers of a
+    // fixed offset pattern).
+    std::vector<Fp> xs(m);
+    const std::uint64_t base = 1 + rng.below(1u << 20);
+    for (std::size_t i = 0; i < m; ++i)
+      xs[i] = Fp(base + i * (1 + rng.below(5)) * 65537ULL);
+    bool distinct = true;
+    for (std::size_t i = 0; i < m && distinct; ++i)
+      for (std::size_t j = i + 1; j < m; ++j)
+        if (xs[i] == xs[j]) {
+          distinct = false;
+          break;
+        }
+    if (!distinct) continue;
+    const std::size_t max_errors = (m - degree - 1) / 2;
+    BatchedBerlekampWelch batched(xs, degree, max_errors);
+    GaoContext gao(xs);
+    const std::size_t words = 16;
+    std::vector<std::vector<Fp>> batch(words);
+    for (std::size_t w = 0; w < words; ++w) {
+      std::vector<Fp> coeffs(degree + 1);
+      const bool zero_word = rng.bernoulli(0.05);
+      for (auto& c : coeffs) c = zero_word ? Fp(0) : Fp(rng.next());
+      zero_words += zero_word ? 1 : 0;
+      auto& ys = batch[w];
+      ys.resize(m);
+      for (std::size_t i = 0; i < m; ++i) ys[i] = poly_eval(coeffs, xs[i]);
+      // Error weight sweeps past the budget so rejects are exercised too.
+      const std::size_t errors = rng.below(max_errors + 2);
+      for (auto b : rng.sample_without_replacement(m, std::min(errors, m)))
+        ys[b] = Fp(rng.next());
+      damaged += errors > 0 ? 1 : 0;
+    }
+    auto via_batched = batched.decode_words(batch);
+    for (std::size_t w = 0; w < words; ++w) {
+      auto via_gao = gao.decode(batch[w], degree, max_errors);
+      ASSERT_EQ(via_batched[w].has_value(), via_gao.has_value())
+          << "case " << cases << " m=" << m << " degree=" << degree;
+      if (via_gao.has_value()) {
+        for (std::size_t c = 0; c <= degree; ++c) {
+          const Fp g = c < via_gao->size() ? (*via_gao)[c] : Fp(0);
+          const Fp b = c < via_batched[w]->size() ? (*via_batched[w])[c]
+                                                  : Fp(0);
+          ASSERT_EQ(g.value(), b.value())
+              << "case " << cases << " coeff " << c;
+        }
+      } else {
+        ++rejected;
+      }
+      ++cases;
+    }
+  }
+  // The sweep must actually have exercised the interesting regions.
+  EXPECT_GE(cases, 10000u);
+  EXPECT_GT(damaged, 100u);
+  EXPECT_GT(rejected, 100u);
+  EXPECT_GT(zero_words, 50u);
 }
 
 TEST(ShareFlowFuzz, RandomParameterGridRoundTrips) {
