@@ -67,9 +67,17 @@ Point run_point(std::size_t n, std::size_t seeds, double corrupt) {
 int main() {
   using namespace ba;
   const bool full = bench::full_mode();
-  const std::vector<std::size_t> ns =
+  std::vector<std::size_t> ns =
       full ? std::vector<std::size_t>{64, 256, 512, 1024, 2048, 4096}
            : std::vector<std::size_t>{64, 256, 512, 1024};
+  // The e1_n16384 configuration (ROADMAP "multi-core bench sweep"): the
+  // full Õ(√n) pipeline end to end at n = 16384, enabled by the parallel
+  // round engine + share flows and the decode/dealing caches. Run on a
+  // 4+ core machine with BA_THREADS set; expect minutes per seed.
+  if (const char* v = std::getenv("BA_BENCH_N16384"); v && v[0] == '1') {
+    ns.push_back(8192);
+    ns.push_back(16384);
+  }
   const std::size_t seeds = full ? 5 : 2;
   const double corrupt = 0.10;
 

@@ -18,8 +18,11 @@
 
 #include <thread>
 
+#include "adversary/strategies.h"
 #include "aeba/aeba_with_coins.h"
+#include "common/arena.h"
 #include "common/pool.h"
+#include "core/share_flow.h"
 #include "crypto/berlekamp_welch.h"
 #include "crypto/gao.h"
 #include "crypto/scheme_cache.h"
@@ -196,6 +199,10 @@ struct Comparison {
   std::string params;
   double legacy_ns = 0;
   double current_ns = 0;
+  /// Machine-topology-dependent comparison (serial engine vs worker
+  /// pool): recorded for the ledger, never gated by CI — the flag is
+  /// written into BENCH_micro.json and read back by the bench-diff step.
+  bool advisory = false;
   double speedup() const { return legacy_ns / current_ns; }
 };
 
@@ -441,6 +448,7 @@ Comparison compare_parallel_round_engine() {
       hw < 2 ? 1 : std::min<std::size_t>(8, hw);
   Comparison c;
   c.name = "parallel_round_engine";
+  c.advisory = true;
   char params[128];
   std::snprintf(params, sizeof(params),
                 "n=4096 instances=64 workers=%zu host_cores=%u",
@@ -450,6 +458,133 @@ Comparison compare_parallel_round_engine() {
   c.legacy_ns = time_ns_per_op(round);
   Pool::set_threads(workers);
   c.current_ns = time_ns_per_op(round);
+  Pool::set_threads(0);
+  return c;
+}
+
+Comparison compare_share_fanout_arena() {
+  // sendDown's dominant replication: handing one decoded dealing group
+  // to every child of its node. Seed/PR-3 shape ("legacy"): a
+  // std::vector<Fp> per record, deep-copied per child. Current: records
+  // carry FpSpans into a per-flow WordArena and children receive a batch
+  // id — replication copies pointers. Group/word/children sizes match a
+  // mid-tree exposure batch at n = 4096 scale.
+  constexpr std::size_t kGroups = 64, kWords = 64, kChildren = 8;
+  Rng rng(5001);
+  std::vector<std::uint64_t> values(kGroups * kWords);
+  for (auto& v : values) v = rng.next() & Fp::kP;
+
+  struct LegacyRec {
+    std::uint64_t chain = 0;
+    std::uint32_t holder_pos = 0;
+    std::vector<Fp> ys;
+  };
+  struct SpanRec {
+    std::uint64_t chain = 0;
+    std::uint32_t holder_pos = 0;
+    FpSpan ys;
+  };
+
+  Comparison c;
+  c.name = "share_fanout_arena";
+  c.params = "groups=64 words=64 children=8";
+  {
+    std::vector<std::pair<std::size_t, std::vector<LegacyRec>>> next;
+    c.legacy_ns = time_ns_per_op([&] {
+      std::vector<LegacyRec> decoded;
+      decoded.reserve(kGroups);
+      for (std::size_t g = 0; g < kGroups; ++g) {
+        LegacyRec rec;
+        rec.chain = g;
+        rec.holder_pos = static_cast<std::uint32_t>(g);
+        rec.ys.resize(kWords);
+        for (std::size_t w = 0; w < kWords; ++w)
+          rec.ys[w] = Fp(values[g * kWords + w]);
+        decoded.push_back(std::move(rec));
+      }
+      next.clear();
+      for (std::size_t child = 0; child < kChildren; ++child)
+        next.emplace_back(child, decoded);  // deep copy per child
+      benchmark::DoNotOptimize(next.data());
+    });
+  }
+  {
+    WordArena arena;
+    std::vector<std::vector<SpanRec>> batches;
+    std::vector<std::pair<std::size_t, std::uint32_t>> next;
+    c.current_ns = time_ns_per_op([&] {
+      arena.reset();
+      batches.clear();
+      std::vector<SpanRec> decoded;
+      decoded.reserve(kGroups);
+      for (std::size_t g = 0; g < kGroups; ++g) {
+        SpanRec rec;
+        rec.chain = g;
+        rec.holder_pos = static_cast<std::uint32_t>(g);
+        Fp* out = arena.alloc(kWords);
+        for (std::size_t w = 0; w < kWords; ++w)
+          out[w] = Fp(values[g * kWords + w]);
+        rec.ys = FpSpan{out, kWords};
+        decoded.push_back(rec);
+      }
+      batches.push_back(std::move(decoded));
+      next.clear();
+      for (std::size_t child = 0; child < kChildren; ++child)
+        next.emplace_back(child, 0u);  // span batch shared by every child
+      benchmark::DoNotOptimize(next.data());
+      benchmark::DoNotOptimize(batches.data());
+    });
+  }
+  return c;
+}
+
+Comparison compare_share_flow_parallel() {
+  // The parallel share pipeline on its protocol-shaped workload: one
+  // sendDown exposure batch at n = 4096 (deal to a leaf, iterate shares
+  // to the tree root, then expose a 4-word range to every leaf member of
+  // the subtree — the decode fan-out PR 4 parallelized). "legacy" pins
+  // the pool to one worker (the engine's serial mode, byte-identical by
+  // the parity suite); "current" runs min(8, hardware) workers. On a
+  // single-core host both sides execute serially (~1.0x) — the entry is
+  // advisory, recorded for the multi-core sweep.
+  constexpr std::size_t kN = 4096;
+  auto params = ProtocolParams::laptop_scale(kN);
+  Rng rng(6001);
+  Rng tree_rng = rng.fork(1);
+  TournamentTree tree(params.tree, tree_rng);
+  Network net(kN, kN / 3);
+  StaticMaliciousAdversary adversary(0.05, 6002);
+  adversary.on_start(net);
+  ShareFlow flow(params, tree, net, rng.fork(2));
+  const std::size_t words = 16;
+  std::vector<Fp> secret(words);
+  for (auto& w : secret) w = Fp(rng.next());
+  ArrayState a;
+  a.id = 7;
+  a.recs = flow.deal_to_leaf(7, 7, secret);
+  a.level = 1;
+  a.node_idx = 7;
+  while (a.level < tree.num_levels())
+    flow.send_secret_up(a, 0, [](std::size_t) { return true; });
+
+  const auto exposure = [&] {
+    LeafViews lv = flow.send_down(a, 4, 5);
+    benchmark::DoNotOptimize(lv);
+  };
+  exposure();  // prime the arena slabs and decoder cache for both sides
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t workers = hw < 2 ? 1 : std::min<std::size_t>(8, hw);
+  Comparison c;
+  c.name = "share_flow_parallel";
+  c.advisory = true;
+  char params_buf[128];
+  std::snprintf(params_buf, sizeof(params_buf),
+                "n=4096 words=1 workers=%zu host_cores=%u", workers, hw);
+  c.params = params_buf;
+  Pool::set_threads(1);
+  c.legacy_ns = time_ns_per_op(exposure);
+  Pool::set_threads(workers);
+  c.current_ns = time_ns_per_op(exposure);
   Pool::set_threads(0);
   return c;
 }
@@ -507,7 +642,9 @@ int write_comparison_json() {
   comps.push_back(compare_network_round());
   comps.push_back(compare_payload_churn());
   comps.push_back(compare_tagged_inbox_scan());
+  comps.push_back(compare_share_fanout_arena());
   comps.push_back(compare_parallel_round_engine());
+  comps.push_back(compare_share_flow_parallel());
   Pool::set_threads(0);  // restore the environment default
 
   const char* path_env = std::getenv("BA_BENCH_JSON");
@@ -526,9 +663,10 @@ int write_comparison_json() {
     std::snprintf(buf, sizeof(buf),
                   "    {\"name\": \"%s\", \"params\": \"%s\", "
                   "\"unit\": \"ns/op\", \"legacy\": %.1f, "
-                  "\"current\": %.1f, \"speedup\": %.2f}%s\n",
+                  "\"current\": %.1f, \"speedup\": %.2f%s}%s\n",
                   c.name.c_str(), c.params.c_str(), c.legacy_ns, c.current_ns,
-                  c.speedup(), i + 1 < comps.size() ? "," : "");
+                  c.speedup(), c.advisory ? ", \"advisory\": true" : "",
+                  i + 1 < comps.size() ? "," : "");
     out << buf;
   }
   out << "  ]\n}\n";

@@ -1,0 +1,110 @@
+// Bump-allocated word storage for the bulk share flows.
+//
+// sendDown moves the same decoded word vectors along every edge of a
+// subtree: one decoded dealing group is handed to every child of its
+// node, and one reconstructed leaf secret is replicated to every leaf
+// member's view. The seed (and PR 2/3) materialised a fresh
+// std::vector<Fp> per hop — at n = 4096 a single exposure batch performs
+// tens of thousands of vector allocations whose contents are identical
+// down each subtree. The arena replaces ownership with borrowing: one
+// per-flow WordArena owns all word storage for the exposure batch, and
+// the records that travel down the tree carry FpSpan views (pointer +
+// length) that cost nothing to replicate.
+//
+// Lifetime contract: spans are valid until the owning arena's next
+// reset(). ShareFlow resets its arena at the top of each send_down call
+// (one exposure batch == one arena epoch), so spans never outlive the
+// LeafViews computation they feed. Slabs are retained across resets —
+// after the first batch at a given scale the steady state allocates
+// nothing.
+//
+// Threading contract (mirrors common/pool.h): alloc()/reset() mutate the
+// arena and are driver-side only. Workers may read any span and may
+// *write through* an Fp* the driver carved for their item (item-indexed
+// writes, disjoint by construction) — the arena itself is never touched
+// from a pool body.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/field.h"
+
+namespace ba {
+
+/// Borrowed view of a word run inside a WordArena (or any stable Fp
+/// storage). Trivially copyable; replication is pointer copy.
+struct FpSpan {
+  const Fp* ptr = nullptr;
+  std::size_t len = 0;
+
+  std::size_t size() const { return len; }
+  bool empty() const { return len == 0; }
+  const Fp& operator[](std::size_t i) const { return ptr[i]; }
+  const Fp* begin() const { return ptr; }
+  const Fp* end() const { return ptr + len; }
+};
+
+/// Bump allocator of Fp runs with epoch reset. Allocation is O(1) off a
+/// slab cursor; reset() rewinds every slab without releasing memory.
+class WordArena {
+ public:
+  /// `slab_words` sizes the base slab; requests larger than a slab get a
+  /// dedicated oversize slab of exactly their length.
+  explicit WordArena(std::size_t slab_words = std::size_t{1} << 14)
+      : slab_words_(slab_words) {
+    BA_REQUIRE(slab_words_ > 0, "arena slabs must hold at least one word");
+  }
+
+  /// A fresh run of n words (value-initialized to 0 on first slab use;
+  /// reused runs keep stale contents — callers overwrite). n == 0 returns
+  /// an empty, distinct-from-null span base.
+  Fp* alloc(std::size_t n) {
+    if (n == 0) return &empty_;
+    if (n > slab_words_) {
+      // Oversize request: dedicated slab, consumed whole.
+      oversize_.push_back(std::make_unique<Fp[]>(n));
+      words_allocated_ += n;
+      return oversize_.back().get();
+    }
+    if (slab_idx_ == slabs_.size() || cursor_ + n > slab_words_) {
+      if (slab_idx_ < slabs_.size() && cursor_ + n > slab_words_)
+        ++slab_idx_;
+      if (slab_idx_ == slabs_.size())
+        slabs_.push_back(std::make_unique<Fp[]>(slab_words_));
+      cursor_ = 0;
+    }
+    Fp* out = slabs_[slab_idx_].get() + cursor_;
+    cursor_ += n;
+    words_allocated_ += n;
+    return out;
+  }
+
+  /// Rewind to empty, keeping regular slabs for reuse. Oversize slabs are
+  /// released (they are workload spikes, not steady state). Invalidates
+  /// every span handed out since the previous reset.
+  void reset() {
+    slab_idx_ = 0;
+    cursor_ = 0;
+    words_allocated_ = 0;
+    oversize_.clear();
+  }
+
+  /// Words handed out since the last reset (instrumentation).
+  std::size_t words_allocated() const { return words_allocated_; }
+  /// Regular slabs retained (instrumentation; steady state is flat).
+  std::size_t slab_count() const { return slabs_.size(); }
+
+ private:
+  std::size_t slab_words_;
+  std::vector<std::unique_ptr<Fp[]>> slabs_;
+  std::vector<std::unique_ptr<Fp[]>> oversize_;
+  std::size_t slab_idx_ = 0;   ///< slab currently being bumped
+  std::size_t cursor_ = 0;     ///< next free word within that slab
+  std::size_t words_allocated_ = 0;
+  Fp empty_;  ///< stable base for zero-length spans
+};
+
+}  // namespace ba

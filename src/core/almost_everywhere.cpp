@@ -81,7 +81,12 @@ AeResult AlmostEverywhereBA::run(Network& net, Adversary& adversary,
                                                         : FaultStyle::silent);
 
   // ---- Step 1: generate arrays, deal to home leaves, share to level 2.
+  // Dealings go through the batched share flow: one driver-side pass
+  // draws all randomness in array order (byte-identical to per-array
+  // dealing), then the Vandermonde products fan out across the pool.
   std::vector<ArrayState> arrays(n);
+  std::vector<std::vector<Fp>> deal_words(n);
+  std::vector<ShareFlow::DealJob> deal_jobs(n);
   for (ProcId i = 0; i < n; ++i) {
     ArrayState& a = arrays[i];
     a.id = i;
@@ -95,12 +100,21 @@ AeResult AlmostEverywhereBA::run(Network& net, Adversary& adversary,
       a.truth.resize(layout_.total_words());
       for (auto& w : a.truth) w = arr_rng.next() & Fp::kP;
     }
-    std::vector<Fp> words(a.truth.size());
+    std::vector<Fp>& words = deal_words[i];
+    words.resize(a.truth.size());
     for (std::size_t w = 0; w < words.size(); ++w) words[w] = Fp(a.truth[w]);
-    a.recs = flow.deal_to_leaf(i, i, words);
+    deal_jobs[i].owner = i;
+    deal_jobs[i].leaf_idx = i;
+    deal_jobs[i].words = &words;
     a.level = 1;
     a.node_idx = i;
   }
+  {
+    auto dealt = flow.deal_to_leaf_batch(deal_jobs);
+    for (ProcId i = 0; i < n; ++i) arrays[i].recs = std::move(dealt[i]);
+  }
+  deal_words.clear();
+  deal_words.shrink_to_fit();
   advance_rounds(net, 1);
   for (auto& a : arrays)
     flow.send_secret_up(a, 0, [](std::size_t) { return true; });

@@ -28,12 +28,44 @@
 // centralised in fill_garbage (core/array_state.h); all paths keep the
 // seed's Rng draw order, so fixed-seed runs are byte-identical to the
 // pre-cache pipeline.
+//
+// Parallelism (the round engine, common/pool.h). The flows are fanned
+// across the pool under the cache's two-phase protocol and a hard
+// draw-order contract that keeps every run byte-identical to the serial
+// pipeline at any worker count:
+//
+//  * Randomness never moves: each batch splits into a serial driver pass
+//    that consumes rng_ in exactly the order the serial code did (dealing
+//    coefficients via CachedScheme::draw_coeffs, lying holders' garbage)
+//    and a draw-free parallel pass (Vandermonde products via
+//    deal_from_coeffs, robust decoding via reconstruct_into) whose writes
+//    are item-indexed.
+//  * Decode-failure garbage is the one draw that depends on a parallel
+//    result, so sendDown runs optimistically: snapshot rng_, draw all
+//    input garbage, decode the whole frontier in parallel; if some group
+//    failed, rewind to the snapshot, replay draws up to the first failing
+//    node (identical values), take its failure draws serially, and
+//    restart from the next node. Failures are the adversarial rare case;
+//    after two restarts the remainder runs node-serial (groups within one
+//    node still fan out — their failure draws cannot interleave with
+//    their own input draws).
+//  * Word storage for one sendDown exposure batch lives in a per-flow
+//    WordArena (common/arena.h): decoded groups and transmitted values
+//    are FpSpans, so handing a decoded record to every child of a node —
+//    the dominant replication in the flow — copies pointers, not words.
+//    The arena resets at the top of each send_down call.
+//
+// sendOpen stays serial: its per-receiver tallies interleave lying-sender
+// garbage draws with the tally itself, and pre-drawing them would cost as
+// much as the tally. Ledger charges are order-independent totals and move
+// freely between phases.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "common/arena.h"
 #include "core/array_state.h"
 #include "core/params.h"
 #include "crypto/berlekamp_welch.h"
@@ -112,16 +144,33 @@ class ShareFlow {
   std::vector<ShareRec> deal_to_leaf(ProcId owner, std::size_t leaf_idx,
                                      const std::vector<Fp>& words);
 
+  /// One owner's dealing in a deal_to_leaf_batch. `words` must outlive
+  /// the call.
+  struct DealJob {
+    ProcId owner = 0;
+    std::size_t leaf_idx = 0;
+    const std::vector<Fp>* words = nullptr;
+  };
+
+  /// Batched step 1(a) for a whole round of dealings: randomness and
+  /// charges run serially in job order (byte-identical to calling
+  /// deal_to_leaf job by job), the Vandermonde products fan out across
+  /// the pool. out[j] is job j's record vector.
+  std::vector<std::vector<ShareRec>> deal_to_leaf_batch(
+      const std::vector<DealJob>& jobs);
+
   /// sendSecretUp: re-deal array a's shares from its current node to the
   /// parent, keeping only words from new_offset on. `holder_forwards(pos)`
   /// gates good holders (election-view divergence); corrupt holders always
   /// "forward" but deal garbage when lying. Mutates a (level, node,
-  /// offset, recs).
+  /// offset, recs). Re-dealings of distinct records fan out across the
+  /// pool (coefficients pre-drawn serially in record order).
   void send_secret_up(ArrayState& a, std::size_t new_offset,
                       const std::function<bool(std::size_t)>& holder_forwards);
 
   /// sendDown: expose words [w0, w1) of array a to every leaf member of
-  /// the subtree of a's current node.
+  /// the subtree of a's current node. Group recombinations fan out across
+  /// the pool (see the header comment for the draw-order contract).
   LeafViews send_down(const ArrayState& a, std::size_t w0, std::size_t w1);
 
   /// sendOpen: members of node (level, node_idx) learn the exposed words
@@ -134,7 +183,20 @@ class ShareFlow {
   static std::size_t exposure_rounds(std::size_t level) { return level + 1; }
 
  private:
+  /// A share record travelling down the tree: word values borrowed from
+  /// the flow's arena (or the source ArrayState), replicated to children
+  /// by span copy.
+  struct DownRec {
+    Chain chain = 0;
+    std::uint32_t holder_pos = 0;
+    FpSpan ys;
+  };
+
   Fp garbage() { return Fp(rng_.next()); }
+  /// fill_garbage (core/array_state.h) over an arena run.
+  void fill_garbage_span(Fp* ys, std::size_t words) {
+    for (std::size_t w = 0; w < words; ++w) ys[w] = garbage();
+  }
   bool lying(ProcId p) const {
     return style_ == FaultStyle::lying && net_.is_corrupt(p);
   }
@@ -142,12 +204,38 @@ class ShareFlow {
     return style_ == FaultStyle::silent && net_.is_corrupt(p);
   }
 
+  /// (Re)size the per-worker scratch slots to the pool's current width.
+  void ensure_worker_scratch();
+
+  /// The optimistic draw/decode/rewind loop shared by send_down's level
+  /// and leaf-exchange phases (see the header comment). Units are
+  /// processed so that rng_ consumes draws in exactly the serial order:
+  /// draw_inputs(i) (serial, in unit order; re-invocations must
+  /// reproduce identical draws from an identical rng_ state),
+  /// decode_range(begin, end) (parallel, draw-free, item-indexed
+  /// writes), failed(i) (pure), fill_failure(i) (serial, draws). After
+  /// two rewinds the remainder runs unit-serially.
+  void optimistic_units(std::size_t count,
+                        const std::function<void(std::size_t)>& draw_inputs,
+                        const std::function<void(std::size_t, std::size_t)>&
+                            decode_range,
+                        const std::function<bool(std::size_t)>& failed,
+                        const std::function<void(std::size_t)>& fill_failure);
+
   const ProtocolParams& params_;
   const TournamentTree& tree_;
   Network& net_;
   Rng rng_;
   FaultStyle style_ = FaultStyle::lying;
   SchemeCache cache_;  ///< amortized dealing matrices and robust decoders
+  WordArena arena_;    ///< word storage for one sendDown exposure batch
+
+  // Per-worker scratch (common/pool.h contract: reinitialized by every
+  // item that uses a slot).
+  std::vector<RobustDecoder::Scratch> decode_scratch_;
+  std::vector<std::vector<FpSpan>> span_scratch_;
+  std::vector<std::vector<VectorShare>> deal_out_scratch_;
+  std::vector<std::vector<Fp>> slice_scratch_;
 };
 
 }  // namespace ba

@@ -50,6 +50,22 @@ std::uint64_t CachedScheme::precompute_fingerprint() const {
 void CachedScheme::deal_into(const std::vector<Fp>& secret, Rng& rng,
                              std::vector<VectorShare>& out,
                              DealScratch& scratch) const {
+  draw_coeffs(secret.size(), rng, scratch.coeffs);
+  deal_from_coeffs(secret, scratch.coeffs, out);
+}
+
+void CachedScheme::draw_coeffs(std::size_t words, Rng& rng,
+                               std::vector<Fp>& coeffs) const {
+  // The seed's draw order (word-major, degrees 1..t) — this keeps cached
+  // dealing byte-identical to ShamirScheme::deal for the same Rng state.
+  coeffs.resize(words * t_);
+  for (std::size_t w = 0; w < words; ++w)
+    for (std::size_t j = 0; j < t_; ++j) coeffs[w * t_ + j] = Fp(rng.next());
+}
+
+void CachedScheme::deal_from_coeffs(const std::vector<Fp>& secret,
+                                    const std::vector<Fp>& coeffs,
+                                    std::vector<VectorShare>& out) const {
   const std::size_t words = secret.size();
   out.resize(n_);
   for (std::size_t i = 0; i < n_; ++i) {
@@ -61,13 +77,7 @@ void CachedScheme::deal_into(const std::vector<Fp>& secret, Rng& rng,
       std::copy(secret.begin(), secret.end(), out[i].ys.begin());
     return;
   }
-  // Draw every word's random coefficients first, in the seed's order
-  // (word-major, degrees 1..t) — this keeps cached dealing byte-identical
-  // to ShamirScheme::deal for the same Rng state.
-  std::vector<Fp>& coeffs = scratch.coeffs;
-  coeffs.resize(words * t_);
-  for (std::size_t w = 0; w < words; ++w)
-    for (std::size_t j = 0; j < t_; ++j) coeffs[w * t_ + j] = Fp(rng.next());
+  BA_REQUIRE(coeffs.size() == words * t_, "coefficient buffer wrong shape");
   // Y = secret + V * C, blocked four words at a time with deferred
   // reduction: raw 128-bit products accumulate unreduced (each term is
   // < 2^122, so up to kChunk = 60 terms fit in the accumulator) and fold
@@ -209,14 +219,28 @@ std::optional<std::vector<Fp>> RobustDecoder::reconstruct(
   const std::size_t m = xs_.size();
   BA_REQUIRE(shares.size() == m, "share count must match the point set");
   const std::size_t words = shares.empty() ? 0 : shares.front().ys.size();
+  scratch.spans.resize(m);
+  for (std::size_t i = 0; i < m; ++i)
+    scratch.spans[i] = FpSpan{shares[i].ys.data(), shares[i].ys.size()};
+  std::vector<Fp> secret(words);
+  if (!reconstruct_into(scratch.spans.data(), m, words, secret.data(),
+                        scratch))
+    return std::nullopt;
+  return secret;
+}
+
+bool RobustDecoder::reconstruct_into(const FpSpan* shares, std::size_t count,
+                                     std::size_t words, Fp* out,
+                                     Scratch& scratch) const {
+  const std::size_t m = xs_.size();
+  BA_REQUIRE(count == m, "share count must match the point set");
   const std::size_t k = t_ + 1;
   for (std::size_t i = 0; i < m; ++i)
-    BA_REQUIRE(shares[i].ys.size() == words, "ragged share vectors");
+    BA_REQUIRE(shares[i].size() == words, "ragged share vectors");
   scratch.ys.resize(m);
   scratch.head.resize(k);
-  std::vector<Fp> secret(words);
   for (std::size_t w = 0; w < words; ++w) {
-    for (std::size_t i = 0; i < m; ++i) scratch.ys[i] = shares[i].ys[w];
+    for (std::size_t i = 0; i < m; ++i) scratch.ys[i] = shares[i][w];
     bool clean = fast_;
     if (fast_) {
       std::copy(scratch.ys.begin(),
@@ -228,55 +252,101 @@ std::optional<std::vector<Fp>> RobustDecoder::reconstruct(
                 scratch.ys[k + i];
     }
     if (clean) {
-      secret[w] = interp_->eval_at_zero(scratch.head);
+      out[w] = interp_->eval_at_zero(scratch.head);
       continue;
     }
     auto value = decode_word(scratch);
-    if (!value) return std::nullopt;
-    secret[w] = *value;
+    if (!value) return false;
+    out[w] = *value;
   }
-  return secret;
+  return true;
 }
 
 // -------------------------------------------------------- SchemeCache --
+//
+// The mutating scheme()/robust() conveniences are find + insert-on-miss
+// over the same const finders the phase-2 workers use — one key/match
+// definition, so the two paths cannot drift.
+
+namespace {
+
+std::uint64_t scheme_key(std::size_t num_shares,
+                         std::size_t privacy_threshold) {
+  return (static_cast<std::uint64_t>(num_shares) << 32) |
+         static_cast<std::uint64_t>(privacy_threshold);
+}
+
+/// Bucket hash over (t, xs) — the one definition behind lookup and
+/// insert.
+std::uint64_t robust_key_hash(const Fp* xs, std::size_t count,
+                              std::size_t privacy_threshold) {
+  Fnv1a d;
+  d.mix(privacy_threshold);
+  for (std::size_t i = 0; i < count; ++i) d.mix(xs[i].value());
+  return d.h;
+}
+
+}  // namespace
 
 const CachedScheme& SchemeCache::scheme(std::size_t num_shares,
                                         std::size_t privacy_threshold) {
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(num_shares) << 32) |
-      static_cast<std::uint64_t>(privacy_threshold);
-  auto it = schemes_.find(key);
-  if (it == schemes_.end())
-    it = schemes_
-             .emplace(key, std::make_unique<CachedScheme>(num_shares,
-                                                          privacy_threshold))
-             .first;
-  return *it->second;
+  if (const CachedScheme* hit = find_scheme(num_shares, privacy_threshold))
+    return *hit;
+  return *schemes_
+              .emplace(scheme_key(num_shares, privacy_threshold),
+                       std::make_unique<CachedScheme>(num_shares,
+                                                      privacy_threshold))
+              .first->second;
 }
 
 const RobustDecoder& SchemeCache::robust(const std::vector<Fp>& xs,
                                          std::size_t privacy_threshold) {
-  Fnv1a d;  // bucket hash over (t, xs)
-  d.mix(privacy_threshold);
-  for (const Fp& x : xs) d.mix(x.value());
-  const std::uint64_t h = d.h;
-  {
-    auto it = decoders_.find(h);
-    if (it != decoders_.end())
-      for (const auto& d : it->second)
-        if (d->privacy_threshold() == privacy_threshold &&
-            d->points() == xs)
-          return *d;
-  }
-  if (decoder_count_ >= kMaxDecoders) {  // epoch reset; rebuilt on demand
+  if (const RobustDecoder* hit = find_robust(xs, privacy_threshold))
+    return *hit;
+  // Epoch reset (rebuilt on demand) — deferred to unpin_robust() while a
+  // pre-warm batch holds references into the map.
+  if (decoder_count_ >= kMaxDecoders && !robust_pinned_) {
     decoders_.clear();
     decoder_count_ = 0;
+    ++robust_epoch_;
   }
-  auto& bucket = decoders_[h];
+  auto& bucket =
+      decoders_[robust_key_hash(xs.data(), xs.size(), privacy_threshold)];
   bucket.push_back(
       std::make_unique<RobustDecoder>(xs, privacy_threshold));
   ++decoder_count_;
   return *bucket.back();
+}
+
+void SchemeCache::unpin_robust() {
+  robust_pinned_ = false;
+  if (decoder_count_ > kMaxDecoders) {  // the batch overflowed the bound
+    decoders_.clear();
+    decoder_count_ = 0;
+    ++robust_epoch_;
+  }
+}
+
+const CachedScheme* SchemeCache::find_scheme(
+    std::size_t num_shares, std::size_t privacy_threshold) const {
+  auto it = schemes_.find(scheme_key(num_shares, privacy_threshold));
+  return it == schemes_.end() ? nullptr : it->second.get();
+}
+
+const RobustDecoder* SchemeCache::find_robust(
+    const Fp* xs, std::size_t count, std::size_t privacy_threshold) const {
+  auto it = decoders_.find(robust_key_hash(xs, count, privacy_threshold));
+  if (it == decoders_.end()) return nullptr;
+  for (const auto& dec : it->second) {
+    if (dec->privacy_threshold() != privacy_threshold ||
+        dec->points().size() != count)
+      continue;
+    bool match = true;
+    for (std::size_t i = 0; match && i < count; ++i)
+      match = dec->points()[i] == xs[i];
+    if (match) return dec.get();
+  }
+  return nullptr;
 }
 
 }  // namespace ba

@@ -35,9 +35,22 @@
 // reconstruct overloads taking an explicit Scratch are const and
 // thread-safe when each worker owns its Scratch. The scratch-less
 // convenience overloads fall back to one internal buffer and stay
-// single-threaded, as does SchemeCache itself (its maps mutate on
-// lookup); give each worker its own cache, or pre-warm and use the
-// decoder references concurrently.
+// single-threaded.
+//
+// SchemeCache itself follows a two-phase protocol per parallel batch
+// (this is what lets ShareFlow fan deal / reconstruct batches across the
+// pool without per-worker caches):
+//   1. Pre-warm (driver-side, serial): prewarm(n, t) and
+//      prewarm_points(xs, t) materialize every entry the batch will
+//      need. These mutate the maps and must not run concurrently with
+//      anything. Hold a RobustPin across the batch: while pinned the
+//      bounded decoder map never hits its epoch reset (which would
+//      invalidate references mid-batch); unpinning restores the bound.
+//   2. Fan-out (workers, concurrent): find_scheme / find_robust are
+//      const, touch the maps read-only, and are safe from any number of
+//      workers — as are references captured during the pre-warm pass.
+// The mutating scheme() / robust() conveniences remain the serial-path
+// API; never call them while phase 2 is in flight.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +60,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/field.h"
 #include "common/rng.h"
 #include "crypto/gao.h"
@@ -87,6 +101,21 @@ class CachedScheme {
   void deal_into(const std::vector<Fp>& secret, Rng& rng,
                  std::vector<VectorShare>& out, DealScratch& scratch) const;
 
+  /// The two halves of deal_into, split so the randomness draw (serial —
+  /// draw order is the protocols' byte-parity anchor) can be separated
+  /// from the Vandermonde product (parallel; see ShareFlow):
+  ///
+  /// draw_coeffs consumes exactly the draws deal_into would (word-major,
+  /// degrees 1..t) into `coeffs`; deal_from_coeffs is pure compute over
+  /// the immutable precompute — const, no scratch, safe from any worker.
+  /// deal_from_coeffs(s, c, out) after draw_coeffs(s.size(), rng, c) is
+  /// byte-identical to deal_into(s, rng, out).
+  void draw_coeffs(std::size_t words, Rng& rng,
+                   std::vector<Fp>& coeffs) const;
+  void deal_from_coeffs(const std::vector<Fp>& secret,
+                        const std::vector<Fp>& coeffs,
+                        std::vector<VectorShare>& out) const;
+
   /// Order-independent digest of the precompute (the dealing matrix).
   /// Stable for the lifetime of the scheme; tests assert no call path
   /// mutates it.
@@ -107,8 +136,9 @@ class RobustDecoder {
   /// Per-word value scratch; own one per worker for concurrent decoding
   /// against a shared decoder.
   struct Scratch {
-    std::vector<Fp> ys;    ///< all m values of the current word
-    std::vector<Fp> head;  ///< first t+1 values
+    std::vector<Fp> ys;       ///< all m values of the current word
+    std::vector<Fp> head;     ///< first t+1 values
+    std::vector<FpSpan> spans;  ///< share views for the vector overload
   };
 
   /// `xs` are the shares' evaluation points in share order; `t` the privacy
@@ -132,6 +162,15 @@ class RobustDecoder {
   /// calls with distinct scratches are safe.
   std::optional<std::vector<Fp>> reconstruct(
       const std::vector<VectorShare>& shares, Scratch& scratch) const;
+
+  /// Span-based reconstruction for the arena-backed share flows:
+  /// shares[i] holds the word values for points()[i] (same order
+  /// contract as the vector overload), every span `words` long. On
+  /// success writes the secret into out[0..words) and returns true.
+  /// Thread-safe under the same distinct-scratch rule; `out` runs of
+  /// concurrent calls must not overlap.
+  bool reconstruct_into(const FpSpan* shares, std::size_t count,
+                        std::size_t words, Fp* out, Scratch& scratch) const;
 
   /// Order-independent digest of the precompute (points, fast-path rows,
   /// flags). Stable for the decoder's lifetime; tests assert no call path
@@ -175,6 +214,57 @@ class SchemeCache {
   const RobustDecoder& robust(const std::vector<Fp>& xs,
                               std::size_t privacy_threshold);
 
+  // ---- two-phase API (see the header comment) ----
+
+  /// Phase 1, driver-side: materialize entries ahead of a parallel
+  /// batch. Aliases of scheme()/robust() under the pre-warm name — the
+  /// returned references obey the same stability rules.
+  const CachedScheme& prewarm(std::size_t num_shares,
+                              std::size_t privacy_threshold) {
+    return scheme(num_shares, privacy_threshold);
+  }
+  const RobustDecoder& prewarm_points(const std::vector<Fp>& xs,
+                                      std::size_t privacy_threshold) {
+    return robust(xs, privacy_threshold);
+  }
+
+  /// Phase 1 guard: while pinned, prewarm_points()/robust() never
+  /// epoch-reset the bounded decoder map (it may temporarily exceed
+  /// kMaxDecoders), so every reference collected during the batch stays
+  /// valid — no miss counting, no preemptive wipe of a warm cache.
+  /// unpin_robust() restores the bound, clearing the map only if the
+  /// batch actually pushed it past the cap. RobustPin is the RAII form.
+  void pin_robust() { robust_pinned_ = true; }
+  void unpin_robust();
+  class RobustPin {
+   public:
+    explicit RobustPin(SchemeCache& cache) : cache_(cache) {
+      cache_.pin_robust();
+    }
+    ~RobustPin() { cache_.unpin_robust(); }
+    RobustPin(const RobustPin&) = delete;
+    RobustPin& operator=(const RobustPin&) = delete;
+
+   private:
+    SchemeCache& cache_;
+  };
+
+  /// Bumped every time the decoder map resets. A pre-warm pass that
+  /// captures references asserts the epoch is unchanged afterwards.
+  std::uint64_t robust_epoch() const { return robust_epoch_; }
+
+  /// Phase 2, worker-side: lock-free const lookups. Read the maps
+  /// without mutating; return nullptr on miss (a miss in phase 2 is a
+  /// driver bug — the pre-warm pass should have covered it).
+  const CachedScheme* find_scheme(std::size_t num_shares,
+                                  std::size_t privacy_threshold) const;
+  const RobustDecoder* find_robust(const Fp* xs, std::size_t count,
+                                   std::size_t privacy_threshold) const;
+  const RobustDecoder* find_robust(const std::vector<Fp>& xs,
+                                   std::size_t privacy_threshold) const {
+    return find_robust(xs.data(), xs.size(), privacy_threshold);
+  }
+
  private:
   std::unordered_map<std::uint64_t, std::unique_ptr<CachedScheme>> schemes_;
   // Decoders bucketed by a hash of (xs, t); each bucket is scanned for an
@@ -183,6 +273,8 @@ class SchemeCache {
                      std::vector<std::unique_ptr<RobustDecoder>>>
       decoders_;
   std::size_t decoder_count_ = 0;
+  std::uint64_t robust_epoch_ = 0;
+  bool robust_pinned_ = false;
 };
 
 }  // namespace ba

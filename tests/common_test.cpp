@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/arena.h"
 #include "common/field.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -339,6 +340,55 @@ TEST(InterpolateCoeffs, RejectsDuplicates) {
 }
 
 // -------------------------------------------------------------- Table --
+
+// ---------------------------------------------------------- WordArena --
+
+TEST(WordArena, RunsAreStableAndDisjointAcrossSlabGrowth) {
+  WordArena arena(/*slab_words=*/16);  // tiny slabs to force growth
+  std::vector<Fp*> runs;
+  const std::size_t kRuns = 40, kLen = 7;
+  for (std::size_t r = 0; r < kRuns; ++r) {
+    Fp* run = arena.alloc(kLen);
+    for (std::size_t i = 0; i < kLen; ++i)
+      run[i] = Fp(r * 1000 + i);
+    runs.push_back(run);
+  }
+  // Every run keeps its words even after later slabs were added.
+  for (std::size_t r = 0; r < kRuns; ++r)
+    for (std::size_t i = 0; i < kLen; ++i)
+      EXPECT_EQ(runs[r][i].value(), Fp(r * 1000 + i).value());
+  EXPECT_EQ(arena.words_allocated(), kRuns * kLen);
+  EXPECT_GT(arena.slab_count(), 1u);
+}
+
+TEST(WordArena, ResetReusesSlabsWithoutReleasing) {
+  WordArena arena(/*slab_words=*/32);
+  for (int i = 0; i < 10; ++i) arena.alloc(20);
+  const std::size_t slabs = arena.slab_count();
+  arena.reset();
+  EXPECT_EQ(arena.words_allocated(), 0u);
+  for (int i = 0; i < 10; ++i) arena.alloc(20);
+  EXPECT_EQ(arena.slab_count(), slabs);  // steady state: no new slabs
+}
+
+TEST(WordArena, OversizeRunsGetDedicatedSlabs) {
+  WordArena arena(/*slab_words=*/8);
+  Fp* small = arena.alloc(4);
+  Fp* big = arena.alloc(100);  // larger than a slab
+  for (std::size_t i = 0; i < 100; ++i) big[i] = Fp(i);
+  small[0] = Fp(7);
+  EXPECT_EQ(big[99].value(), 99u);
+  EXPECT_EQ(small[0].value(), 7u);
+  arena.reset();  // oversize slabs released, regular kept
+  EXPECT_EQ(arena.words_allocated(), 0u);
+}
+
+TEST(WordArena, ZeroLengthAllocationsAreValidSpans) {
+  WordArena arena;
+  FpSpan span{arena.alloc(0), 0};
+  EXPECT_TRUE(span.empty());
+  EXPECT_EQ(span.begin(), span.end());
+}
 
 TEST(Table, RendersHeaderAndRows) {
   Table t("demo");

@@ -303,6 +303,74 @@ TEST(WordVec, SpillsToHeapAndPreservesContents) {
   EXPECT_EQ(small[3], 10u);
 }
 
+TEST(WordVec, CopyOnWriteSharesSpilledBuffersUntilMutation) {
+  WordVec a;
+  for (std::uint64_t i = 0; i < 8; ++i) a.push_back(i);
+  ASSERT_FALSE(a.is_inline());
+  EXPECT_FALSE(a.is_shared());
+  WordVec b = a;  // bulk fan-out: pointer copy, no word copy
+  EXPECT_TRUE(a.is_shared());
+  EXPECT_TRUE(b.is_shared());
+  const WordVec& ca = a;
+  const WordVec& cb = b;
+  EXPECT_EQ(ca.data(), cb.data());  // aliased; const reads don't detach
+  EXPECT_EQ(a, b);
+  b[3] = 99;  // first mutating access detaches a private copy
+  EXPECT_FALSE(a.is_shared());
+  EXPECT_FALSE(b.is_shared());
+  EXPECT_NE(ca.data(), cb.data());
+  EXPECT_EQ(a[3], 3u);
+  EXPECT_EQ(b[3], 99u);
+}
+
+TEST(WordVec, CopyOnWriteSurvivesSourceDestruction) {
+  WordVec survivor;
+  {
+    WordVec source;
+    for (std::uint64_t i = 0; i < 16; ++i) source.push_back(i * 7);
+    survivor = source;
+    EXPECT_TRUE(survivor.is_shared());
+  }  // source released its reference
+  EXPECT_FALSE(survivor.is_shared());
+  for (std::uint64_t i = 0; i < 16; ++i) EXPECT_EQ(survivor[i], i * 7);
+}
+
+TEST(WordVec, SharedPushBackAndClearDetachCorrectly) {
+  WordVec a;
+  for (std::uint64_t i = 0; i < 5; ++i) a.push_back(i);
+  WordVec b = a;
+  b.push_back(100);  // must not grow through a's buffer
+  ASSERT_EQ(a.size(), 5u);
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[5], 100u);
+  WordVec c = a;
+  c.clear();          // size-only; no write yet
+  c.push_back(42);    // detaches before writing slot 0
+  EXPECT_EQ(a[0], 0u);
+  EXPECT_EQ(c[0], 42u);
+}
+
+TEST(WordVec, InlinePayloadsNeverShare) {
+  WordVec a{1, 2};
+  WordVec b = a;
+  EXPECT_TRUE(a.is_inline());
+  EXPECT_TRUE(b.is_inline());
+  EXPECT_FALSE(a.is_shared());
+  b[0] = 5;
+  EXPECT_EQ(a[0], 1u);  // inline copies were always independent
+}
+
+TEST(WordVec, MovedFromSharedBufferKeepsOtherHoldersAlive) {
+  WordVec a;
+  for (std::uint64_t i = 0; i < 8; ++i) a.push_back(i);
+  WordVec b = a;
+  WordVec c = std::move(a);  // c takes a's reference; b unaffected
+  EXPECT_TRUE(b.is_shared());
+  EXPECT_TRUE(c.is_shared());
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(a.size(), 0u);
+}
+
 TEST(PassiveStaticAdversary, CorruptsItsSetOnly) {
   Network net(10, 3);
   PassiveStaticAdversary adv({1, 4, 7});

@@ -24,6 +24,7 @@
 #include "core/a2e.h"
 #include "core/everywhere.h"
 #include "core/global_coin.h"
+#include "core/share_flow.h"
 #include "core/universe_reduction.h"
 
 namespace ba {
@@ -221,6 +222,73 @@ std::uint64_t run_universe_e13() {
   return d.h;
 }
 
+std::uint64_t run_share_flow_e8() {
+  // E8 configuration: the secret-sharing path in isolation, share-heavy —
+  // a batched dealing storm at every leaf, iterated re-dealing to the
+  // root, and robust recombination back down, under a corrupt fifth. The
+  // lying style forces damaged decodes and reconstruction failures (the
+  // optimistic-restart path); the silent style forces below-threshold
+  // groups and insufficient leaf exchanges. Every leaf view word, member
+  // view word, and ledger row feeds the digest.
+  Digest d;
+  for (int style = 0; style < 2; ++style) {
+    const std::size_t n = 64;
+    ProtocolParams params = ProtocolParams::laptop_scale(n);
+    params.tree.q = 4;
+    params.tree.k1 = 12;
+    params.tree.d_up = 12;
+    Rng rng(8800 + style);
+    Rng tree_rng = rng.fork(1);
+    TournamentTree tree(params.tree, tree_rng);
+    Network net(n, n / 3);
+    ShareFlow flow(params, tree, net, rng.fork(2));
+    flow.set_fault_style(style == 0 ? FaultStyle::lying
+                                    : FaultStyle::silent);
+    for (std::size_t c = 0; c < n / 5; ++c) {
+      const auto p = static_cast<ProcId>(rng.below(n));
+      if (!net.is_corrupt(p)) net.corrupt(p);
+    }
+    // One array per processor, dealt in one batch.
+    const std::size_t words = 8;
+    std::vector<std::vector<Fp>> all_words(n, std::vector<Fp>(words));
+    std::vector<ShareFlow::DealJob> jobs(n);
+    for (ProcId i = 0; i < n; ++i) {
+      Rng arr = rng.fork(0x900 + i);
+      for (auto& w : all_words[i]) w = Fp(arr.next());
+      jobs[i].owner = i;
+      jobs[i].leaf_idx = i;
+      jobs[i].words = &all_words[i];
+    }
+    auto dealt = flow.deal_to_leaf_batch(jobs);
+    // March three arrays to the top and expose two word ranges each.
+    for (ProcId id : {ProcId{0}, ProcId{5}, ProcId{17}}) {
+      ArrayState a;
+      a.id = id;
+      a.recs = std::move(dealt[id]);
+      a.level = 1;
+      a.node_idx = id;
+      while (a.level < tree.num_levels())
+        flow.send_secret_up(a, a.level >= 2 ? 2 : 0,
+                            [](std::size_t) { return true; });
+      for (std::size_t w0 : {std::size_t{2}, std::size_t{5}}) {
+        LeafViews lv = flow.send_down(a, w0, w0 + 3);
+        for (std::size_t leaf = 0; leaf < lv.leaf_count(); ++leaf)
+          for (std::size_t pos = 0; pos < lv.k1(); ++pos)
+            for (std::size_t w = 0; w < lv.nwords(); ++w)
+              d.mix(lv.at(leaf, pos, w).value());
+        MemberViews mv = flow.send_open(a.level, a.node_idx, lv);
+        const std::size_t members =
+            tree.node(a.level, a.node_idx).members.size();
+        for (std::size_t pos = 0; pos < members; ++pos)
+          for (std::size_t w = 0; w < mv.nwords(); ++w)
+            d.mix(mv.at(pos, w).value());
+      }
+    }
+    mix_ledger(d, net);
+  }
+  return d.h;
+}
+
 // ------------------------------------------------------------ the suite --
 
 TEST(ParallelParity, Quickstart) { expect_parity("quickstart", run_quickstart); }
@@ -241,6 +309,10 @@ TEST(ParallelParity, AlmostToEverywhere) {
 
 TEST(ParallelParity, UniverseReduction) {
   expect_parity("universe_e13", run_universe_e13);
+}
+
+TEST(ParallelParity, ShareFlowSecretSharing) {
+  expect_parity("share_flow_e8", run_share_flow_e8);
 }
 
 TEST(ParallelParity, NetworkDeliveryMixedTags) {

@@ -4,6 +4,7 @@
 // every error pattern inside the unique-decoding budget.
 #include <gtest/gtest.h>
 
+#include "common/pool.h"
 #include "crypto/berlekamp_welch.h"
 #include "crypto/gao.h"
 #include "crypto/iterated.h"
@@ -374,6 +375,135 @@ TEST(RobustDecoder, PermutedPointSetStillDecodes) {
   auto rec = robust_reconstruct(shares, 3);
   ASSERT_TRUE(rec.has_value());
   EXPECT_EQ(*rec, secret);
+}
+
+// ------------------------------------------- two-phase prewarm protocol --
+
+TEST(SchemeCache, PrewarmMakesLookupsConstUnderWorkerStorm) {
+  // Phase 1 (driver): pre-warm every shape and point set a round needs.
+  // Phase 2 (workers): find_scheme / find_robust are const lookups — a
+  // multi-worker deal/reconstruct storm must leave every precompute
+  // fingerprint unchanged, hit on every lookup, and produce exactly the
+  // serial results (per-item forked Rng streams, per-worker scratch).
+  SchemeCache cache;
+  const std::size_t kShares = 12, kT = 3, kWords = 6;
+  const CachedScheme& scheme = cache.prewarm(kShares, kT);
+  std::vector<Fp> xs(kShares);
+  for (std::size_t i = 0; i < kShares; ++i) xs[i] = Fp(i + 1);
+  // A second survivor pattern: shares 0..8 only (a dropped tail).
+  std::vector<Fp> xs_partial(xs.begin(), xs.begin() + 9);
+  SchemeCache::RobustPin pin(cache);
+  const RobustDecoder& dec_full = cache.prewarm_points(xs, kT);
+  const RobustDecoder& dec_partial = cache.prewarm_points(xs_partial, kT);
+  const std::uint64_t scheme_fp = scheme.precompute_fingerprint();
+  const std::uint64_t full_fp = dec_full.precompute_fingerprint();
+  const std::uint64_t partial_fp = dec_partial.precompute_fingerprint();
+  const std::uint64_t epoch = cache.robust_epoch();
+
+  // One storm item: fork an Rng, deal, damage two shares, reconstruct
+  // through both decoders, digest everything.
+  const auto run_item = [&](std::size_t item, const CachedScheme& s,
+                            const RobustDecoder& full,
+                            const RobustDecoder& partial,
+                            CachedScheme::DealScratch& ds,
+                            RobustDecoder::Scratch& rs) {
+    Rng rng = Rng(4242).fork(item);
+    std::vector<Fp> secret(kWords);
+    for (auto& w : secret) w = Fp(rng.next());
+    std::vector<VectorShare> shares;
+    s.deal_into(secret, rng, shares, ds);
+    for (auto& y : shares[1].ys) y = Fp(rng.next());
+    for (auto& y : shares[7].ys) y = Fp(rng.next());
+    Fnv1a digest;
+    auto v = full.reconstruct(shares, rs);
+    digest.mix(v.has_value() ? 1 : 0);
+    if (v)
+      for (const Fp& w : *v) digest.mix(w.value());
+    shares.resize(9);
+    auto p = partial.reconstruct(shares, rs);
+    digest.mix(p.has_value() ? 1 : 0);
+    if (p)
+      for (const Fp& w : *p) digest.mix(w.value());
+    return digest.h;
+  };
+
+  const std::size_t kItems = 256;
+  std::vector<std::uint64_t> serial(kItems);
+  {
+    CachedScheme::DealScratch ds;
+    RobustDecoder::Scratch rs;
+    for (std::size_t i = 0; i < kItems; ++i)
+      serial[i] = run_item(i, scheme, dec_full, dec_partial, ds, rs);
+  }
+
+  Pool::set_threads(8);
+  std::vector<std::uint64_t> stormed(kItems, 0);
+  std::vector<std::uint8_t> lookup_hit(kItems, 0);
+  std::vector<CachedScheme::DealScratch> deal_scratch(Pool::num_threads());
+  std::vector<RobustDecoder::Scratch> rec_scratch(Pool::num_threads());
+  Pool::for_each(kItems, [&](std::size_t i, std::size_t worker) {
+    const CachedScheme* s = cache.find_scheme(kShares, kT);
+    const RobustDecoder* full = cache.find_robust(xs, kT);
+    const RobustDecoder* partial = cache.find_robust(xs_partial, kT);
+    if (s == nullptr || full == nullptr || partial == nullptr) return;
+    lookup_hit[i] = 1;
+    stormed[i] = run_item(i, *s, *full, *partial, deal_scratch[worker],
+                          rec_scratch[worker]);
+  });
+  Pool::set_threads(0);
+
+  for (std::size_t i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(lookup_hit[i]) << "phase-2 lookup missed for item " << i;
+    EXPECT_EQ(stormed[i], serial[i]) << "item " << i;
+  }
+  // The storm was const: fingerprints, identities and epoch unchanged.
+  EXPECT_EQ(scheme.precompute_fingerprint(), scheme_fp);
+  EXPECT_EQ(dec_full.precompute_fingerprint(), full_fp);
+  EXPECT_EQ(dec_partial.precompute_fingerprint(), partial_fp);
+  EXPECT_EQ(cache.robust_epoch(), epoch);
+  EXPECT_EQ(cache.find_scheme(kShares, kT), &scheme);
+  EXPECT_EQ(cache.find_robust(xs, kT), &dec_full);
+  EXPECT_EQ(cache.find_robust(xs_partial, kT), &dec_partial);
+  // Misses return null rather than inserting.
+  EXPECT_EQ(cache.find_scheme(99, 3), nullptr);
+  std::vector<Fp> unseen{Fp(3), Fp(1), Fp(4), Fp(1)};
+  EXPECT_EQ(cache.find_robust(unseen, 1), nullptr);
+}
+
+TEST(SchemeCache, RobustPinDefersEpochResetUntilUnpin) {
+  // While a pre-warm batch is pinned, inserting past kMaxDecoders must
+  // not reset the map (references collected during the batch stay
+  // valid); the overflow is settled when the pin drops.
+  SchemeCache cache;
+  std::vector<Fp> first{Fp(1), Fp(2), Fp(3)};
+  std::vector<const RobustDecoder*> held;
+  const std::uint64_t epoch0 = cache.robust_epoch();
+  {
+    SchemeCache::RobustPin pin(cache);
+    held.push_back(&cache.prewarm_points(first, 1));
+    for (std::size_t i = 0; i <= SchemeCache::kMaxDecoders; ++i) {
+      // Distinct point sets, enough to overflow the bounded map.
+      std::vector<Fp> xs{Fp(i + 10), Fp(i + 11), Fp(i + 12)};
+      held.push_back(&cache.prewarm_points(xs, 1));
+    }
+    // No reset happened mid-batch: the epoch is stable and the very
+    // first reference still resolves.
+    EXPECT_EQ(cache.robust_epoch(), epoch0);
+    EXPECT_EQ(cache.find_robust(first, 1), held.front());
+  }
+  // The pin dropped with the map over its bound: one deferred reset.
+  EXPECT_NE(cache.robust_epoch(), epoch0);
+  EXPECT_EQ(cache.find_robust(first, 1), nullptr);
+  // A batch that stays within the bound keeps the cache warm across
+  // pins — no preemptive wipe.
+  const RobustDecoder& again = cache.prewarm_points(first, 1);
+  const std::uint64_t epoch1 = cache.robust_epoch();
+  {
+    SchemeCache::RobustPin pin(cache);
+    EXPECT_EQ(&cache.prewarm_points(first, 1), &again);
+  }
+  EXPECT_EQ(cache.robust_epoch(), epoch1);
+  EXPECT_EQ(cache.find_robust(first, 1), &again);
 }
 
 }  // namespace
