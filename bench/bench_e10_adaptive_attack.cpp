@@ -7,11 +7,12 @@
 // Head-to-head under the same AdaptiveWinnerTakeover adversary: the
 // processor-election tournament's committee is fully corrupted and
 // agreement collapses; the array-election protocol is unaffected (the
-// winners are arrays whose owners erased them long ago).
-#include "adversary/strategies.h"
-#include "baseline/processor_election.h"
+// winners are arrays whose owners erased them long ago). Wiring: the
+// registry's e10_proc_{static,adaptive} / e10_array_{static,adaptive}
+// cells, swept over seeds.
 #include "bench_util.h"
-#include "core/almost_everywhere.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 int main() {
   using namespace ba;
@@ -26,29 +27,22 @@ int main() {
   t.header({"protocol", "adversary", "agree_frac", "validity_rate",
             "committee_corrupt_frac"});
 
-  auto tree_params = [&] {
-    TreeParams tp = ProtocolParams::laptop_scale(n).tree;
-    return tp;
-  }();
-
   for (bool adaptive : {false, true}) {
     // -- processor election baseline --
+    const sim::ScenarioSpec proc_spec =
+        sim::ScenarioRegistry::get(adaptive ? "e10_proc_adaptive"
+                                            : "e10_proc_static")
+            .with_n(n);
     double agree = 0, valid = 0, ccorr = 0;
     for (std::uint64_t s = 0; s < seeds; ++s) {
-      Network net(n, n / 3);
-      std::unique_ptr<Adversary> adv;
-      if (adaptive)
-        adv = std::make_unique<AdaptiveWinnerTakeover>(100 + s, false);
-      else
-        adv = std::make_unique<StaticMaliciousAdversary>(0.10, 100 + s);
-      ProcessorElectionBA proto(tree_params, 2, 200 + s);
-      auto res = proto.run(net, *adv, bench::unanimous(n, 1));
-      agree += res.ba.agreement_fraction;
-      valid += res.ba.validity ? 1 : 0;
-      ccorr += res.committee.empty()
+      const sim::RunReport res = sim::run_scenario(proc_spec, s);
+      const auto& election = *res.detail->election;
+      agree += res.agreement_fraction;
+      valid += res.validity == 1 ? 1 : 0;
+      ccorr += election.committee.empty()
                    ? 0.0
-                   : static_cast<double>(res.committee_corrupt) /
-                         static_cast<double>(res.committee.size());
+                   : static_cast<double>(election.committee_corrupt) /
+                         static_cast<double>(election.committee.size());
     }
     const double d = static_cast<double>(seeds);
     t.row({std::string("processor-election"),
@@ -56,28 +50,19 @@ int main() {
            agree / d, valid / d, ccorr / d});
 
     // -- array election (this paper) --
+    const sim::ScenarioSpec array_spec =
+        sim::ScenarioRegistry::get(adaptive ? "e10_array_adaptive"
+                                            : "e10_array_static")
+            .with_n(n);
     agree = valid = ccorr = 0;
     for (std::uint64_t s = 0; s < seeds; ++s) {
-      Network net(n, n / 3);
-      std::unique_ptr<Adversary> adv;
-      if (adaptive)
-        adv = std::make_unique<AdaptiveWinnerTakeover>(300 + s, false);
-      else
-        adv = std::make_unique<StaticMaliciousAdversary>(0.10, 300 + s);
-      AlmostEverywhereBA proto(ProtocolParams::laptop_scale(n), 400 + s);
-      auto res = proto.run(net, *adv, bench::unanimous(n, 1),
-                           /*release_sequence=*/false);
+      const sim::RunReport res = sim::run_scenario(array_spec, s);
       agree += res.agreement_fraction;
-      valid += (res.validity && res.decided_bit) ? 1 : 0;
-      // "Committee" analogue: fraction of winning-array *owners* corrupt
-      // at the end — they are corrupted too, but it buys nothing.
-      std::size_t owners = 0, corrupt_owners = 0;
-      for (const auto& lvl : res.levels) {
-        owners += lvl.winners_total;
-      }
-      (void)owners;
-      (void)corrupt_owners;
-      ccorr += 0.0;  // arrays cannot be corrupted post-hoc: that is the point
+      valid += (res.validity == 1 && res.decided_bit == 1) ? 1 : 0;
+      // "Committee" analogue: winning-array *owners* are corrupted too,
+      // but it buys nothing — arrays cannot be corrupted post-hoc: that
+      // is the point.
+      ccorr += 0.0;
     }
     t.row({std::string("array-election (King-Saia)"),
            std::string(adaptive ? "adaptive-takeover" : "static-10%"),

@@ -5,12 +5,14 @@
 //
 // Regenerates: usable-coin fraction vs the paper's 2/3 - O(1/log log n)
 // reference, view-agreement of good words, and randomness sanity (bit
-// bias, serial correlation) of the released good words.
+// bias, serial correlation) of the released good words. Wiring: the
+// registry's `e11_coins` scenario; the sequence quality and word views
+// ride in the report detail.
 #include <cmath>
 
-#include "adversary/strategies.h"
 #include "bench_util.h"
-#include "core/global_coin.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 int main() {
   using namespace ba;
@@ -26,16 +28,13 @@ int main() {
   t.header({"n", "seq_len", "good_frac", "ref 2/3", "ref 2/3-5/loglog n",
             "min_agreement", "bit_bias"});
   for (auto n : ns) {
+    const sim::ScenarioSpec spec =
+        sim::ScenarioRegistry::get("e11_coins").with_n(n);
     double frac = 0, agree = 0, bias = 0;
     std::size_t len = 0;
     for (std::uint64_t s = 0; s < seeds; ++s) {
-      Network net(n, n / 3);
-      StaticMaliciousAdversary adv(0.10, 500 + s);
-      auto params = ProtocolParams::laptop_scale(n);
-      params.coin_words = 4;
-      AlmostEverywhereBA proto(params, 600 + s);
-      auto res = proto.run(net, adv, bench::random_inputs(n, 700 + s));
-      auto q = assess_sequence(res, net.corrupt_mask());
+      const sim::RunReport res = sim::run_scenario(spec, s);
+      const SequenceQuality& q = *res.detail->sequence_quality;
       len = q.length;
       frac += static_cast<double>(q.good_words) /
               static_cast<double>(q.length);
@@ -53,12 +52,14 @@ int main() {
   // Randomness sanity of released good words: serial bit correlation.
   {
     const std::size_t n = ns.back();
-    Network net(n, n / 3);
-    StaticMaliciousAdversary adv(0.10, 900);
-    auto params = ProtocolParams::laptop_scale(n);
-    params.coin_words = 8;
-    AlmostEverywhereBA proto(params, 901);
-    auto res = proto.run(net, adv, bench::random_inputs(n, 902));
+    const sim::RunReport run = sim::run_scenario(
+        sim::ScenarioRegistry::get("e11_coins")
+            .with_n(n)
+            .with_adversary_seed(900)
+            .with_protocol_seed(901)
+            .with_input_seed(902)
+            .with_coin_words(8));
+    const AeResult& res = *run.detail->ae;
     std::vector<int> bits;
     for (std::size_t i = 0; i < res.seq_views.size(); ++i)
       if (res.seq_word_good[i])

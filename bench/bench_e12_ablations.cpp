@@ -1,12 +1,14 @@
-// E12 — ablations over the design choices DESIGN.md §6 calls out:
+// E12 — ablations over the design choices docs/ARCHITECTURE.md calls out:
 // branching q, winners-per-election w, uplink degree d_up (the share
 // blowup vs robustness margin), intra-node vote degree, and the Rabin
 // decide/lock rule (on vs paper-literal off). Each row: agreement,
 // validity, per-processor bits, rounds — under the standard 15% malicious
-// adversary.
-#include "adversary/strategies.h"
+// adversary. Every row is the registry's `e12_ablation` scenario with one
+// knob overridden through the spec, so the ablation dimensions are
+// exactly the spec's tournament fields.
 #include "bench_util.h"
-#include "core/almost_everywhere.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 namespace ba {
 namespace {
@@ -15,19 +17,13 @@ struct Row {
   double agree = 0, valid = 0, bits = 0, rounds = 0;
 };
 
-Row run_config(ProtocolParams params, std::size_t seeds, double corrupt) {
+Row run_config(const sim::ScenarioSpec& spec, std::size_t seeds) {
   Row row;
-  const std::size_t n = params.tree.n;
   for (std::uint64_t s = 0; s < seeds; ++s) {
-    Network net(n, n / 3);
-    StaticMaliciousAdversary adv(corrupt, 50 + s);
-    AlmostEverywhereBA proto(params, 150 + s);
-    auto res = proto.run(net, adv, bench::random_inputs(n, 250 + s),
-                         /*release_sequence=*/false);
+    const sim::RunReport res = sim::run_scenario(spec, s);
     row.agree += res.agreement_fraction;
-    row.valid += res.validity ? 1 : 0;
-    row.bits += static_cast<double>(
-        net.ledger().max_bits_sent(net.corrupt_mask(), false));
+    row.valid += res.validity == 1 ? 1 : 0;
+    row.bits += static_cast<double>(res.max_bits_good);
     row.rounds += static_cast<double>(res.rounds);
   }
   const double d = static_cast<double>(seeds);
@@ -47,16 +43,16 @@ int main() {
   const std::size_t seeds = full ? 5 : 2;
   const std::size_t n = full ? 1024 : 512;
   const double corrupt = 0.10;
-  const auto base = ProtocolParams::laptop_scale(n);
+  const sim::ScenarioSpec base = sim::ScenarioRegistry::get("e12_ablation")
+                                     .with_n(n)
+                                     .with_corrupt_fraction(corrupt);
 
   {
     Table t("E12a — branching factor q (tree depth vs election width), n=" +
             std::to_string(n));
     t.header({"q", "agree", "valid", "max_bits/proc", "rounds"});
     for (std::size_t q : {4u, 8u, 16u}) {
-      auto p = base;
-      p.tree.q = q;
-      auto r = run_config(p, seeds, corrupt);
+      auto r = run_config(base.with_tree_q(q), seeds);
       t.row({static_cast<std::int64_t>(q), r.agree, r.valid, r.bits,
              r.rounds});
     }
@@ -66,9 +62,7 @@ int main() {
     Table t("E12b — winners per election w (candidate pool size)");
     t.header({"w", "agree", "valid", "max_bits/proc", "rounds"});
     for (std::size_t w : {1u, 2u, 3u}) {
-      auto p = base;
-      p.w = w;
-      auto r = run_config(p, seeds, corrupt);
+      auto r = run_config(base.with_winners(w), seeds);
       t.row({static_cast<std::int64_t>(w), r.agree, r.valid, r.bits,
              r.rounds});
     }
@@ -80,9 +74,7 @@ int main() {
         "margin (robustness). t = d/4, corrects (d - d/4 - 1)/2");
     t.header({"d_up", "agree", "valid", "max_bits/proc"});
     for (std::size_t d : {6u, 9u, 12u, 15u}) {
-      auto p = base;
-      p.tree.d_up = d;
-      auto r = run_config(p, seeds, corrupt);
+      auto r = run_config(base.with_d_up(d), seeds);
       t.row({static_cast<std::int64_t>(d), r.agree, r.valid, r.bits});
     }
     bench::print(t);
@@ -91,9 +83,7 @@ int main() {
     Table t("E12d — intra-node vote-graph out-degree (Lemma 11's k)");
     t.header({"g_intra", "agree", "valid", "max_bits/proc"});
     for (std::size_t g : {4u, 8u, 12u, 16u}) {
-      auto p = base;
-      p.g_intra = g;
-      auto r = run_config(p, seeds, corrupt);
+      auto r = run_config(base.with_g_intra(g), seeds);
       t.row({static_cast<std::int64_t>(g), r.agree, r.valid, r.bits});
     }
     bench::print(t);
@@ -104,20 +94,17 @@ int main() {
         "commit-at-end (lock disabled)");
     t.header({"lock", "agree", "valid"});
     for (bool lock : {true, false}) {
-      auto p = base;
-      p.aeba.lock_threshold = lock ? 0.85 : 2.0;
-      p.aeba.first_round_lock_threshold = lock ? 0.75 : 2.0;
-      auto r = run_config(p, seeds, corrupt);
+      auto r = run_config(base.with_lock_rule_off(!lock), seeds);
       t.row({std::string(lock ? "0.85/0.75" : "off"), r.agree, r.valid});
     }
     bench::print(t);
   }
   {
     Table t("E12f — corruption tolerance at laptop-scale parameters "
-            "(DESIGN.md §6: the binomial-tail limit)");
+            "(docs/ARCHITECTURE.md: the binomial-tail limit)");
     t.header({"corrupt", "agree", "valid"});
     for (double c : {0.05, 0.10, 0.15, 0.20, 0.25, 0.30}) {
-      auto r = run_config(base, seeds, c);
+      auto r = run_config(base.with_corrupt_fraction(c), seeds);
       t.row({c, r.agree, r.valid});
     }
     bench::print(t);

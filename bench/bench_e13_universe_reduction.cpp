@@ -2,12 +2,14 @@
 // Õ(n^1/2) bit complexity for universe reduction." The tournament's
 // released randomness publicly samples a committee whose good fraction is
 // representative of the population (at sampling time — §1.3's adaptive
-// caveat is measured separately).
+// caveat is measured separately). Wiring: the registry's `e13_universe`
+// scenario with the swept knob (corruption, committee size, seeds)
+// overridden through the builder.
 #include <cmath>
 
-#include "adversary/strategies.h"
 #include "bench_util.h"
-#include "core/universe_reduction.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 int main() {
   using namespace ba;
@@ -24,13 +26,13 @@ int main() {
     for (double c : {0.0, 0.05, 0.10}) {
       double cg = 0, pg = 0, va = 0;
       const std::size_t size = 16;
+      const sim::ScenarioSpec spec = sim::ScenarioRegistry::get("e13_universe")
+                                         .with_n(n)
+                                         .with_corrupt_fraction(c)
+                                         .with_committee_size(size);
       for (std::uint64_t s = 0; s < seeds; ++s) {
-        Network net(n, n / 3);
-        StaticMaliciousAdversary adv(c, 100 + s);
-        auto params = ProtocolParams::laptop_scale(n);
-        params.coin_words = 4;
-        UniverseReduction ur(params, size, 200 + s);
-        auto res = ur.run(net, adv);
+        const sim::RunReport run = sim::run_scenario(spec, s);
+        const UniverseResult& res = *run.detail->universe;
         cg += res.good_fraction_at_sampling;
         pg += res.population_good_fraction;
         va += res.view_agreement;
@@ -49,15 +51,17 @@ int main() {
               "population_good_frac"});
     for (std::size_t size : {4u, 8u, 16u, 32u}) {
       double cg = 0, pg = 0;
+      const sim::ScenarioSpec spec =
+          sim::ScenarioRegistry::get("e13_universe")
+              .with_n(n)
+              .with_adversary_seed(300)
+              .with_protocol_seed(400)
+              .with_coin_words(8)  // enough sequence words for size 32
+              .with_committee_size(size);
       for (std::uint64_t s = 0; s < seeds; ++s) {
-        Network net(n, n / 3);
-        StaticMaliciousAdversary adv(0.10, 300 + s);
-        auto params = ProtocolParams::laptop_scale(n);
-        params.coin_words = 8;  // enough sequence words for size 32
-        UniverseReduction ur(params, size, 400 + s);
-        auto res = ur.run(net, adv);
-        cg += res.good_fraction_at_sampling;
-        pg += res.population_good_fraction;
+        const sim::RunReport run = sim::run_scenario(spec, s);
+        cg += run.detail->universe->good_fraction_at_sampling;
+        pg += run.detail->universe->population_good_fraction;
       }
       const double d = static_cast<double>(seeds);
       t.row({static_cast<std::int64_t>(size), cg / d, pg / d});
@@ -74,21 +78,27 @@ int main() {
     t.header({"moment", "committee_corrupt_frac"});
     double before = 0, after = 0;
     const std::size_t size = 16;
+    const sim::ScenarioSpec spec = sim::ScenarioRegistry::get("e13_universe")
+                                       .with_n(n)
+                                       .with_adversary_seed(500)
+                                       .with_protocol_seed(600)
+                                       .with_committee_size(size);
     for (std::uint64_t s = 0; s < seeds; ++s) {
-      Network net(n, n / 3);
-      StaticMaliciousAdversary adv(0.10, 500 + s);
-      auto params = ProtocolParams::laptop_scale(n);
-      params.coin_words = 4;
-      UniverseReduction ur(params, size, 600 + s);
-      auto res = ur.run(net, adv);
+      const sim::RunReport run = sim::run_scenario(spec, s);
+      const UniverseResult& res = *run.detail->universe;
       before += 1.0 - res.good_fraction_at_sampling;
       // Now the committee is public; the adaptive adversary spends its
-      // remaining budget on it.
+      // remaining budget on it (replayed on the run's final corruption
+      // state — the network itself is gone, the arithmetic is the same).
+      std::vector<bool> corrupt = run.detail->corrupt_mask;
+      std::size_t budget_left = n / 3 - run.corrupt_count;
       std::size_t corrupted = 0;
       for (ProcId p : res.committee) {
-        if (!net.is_corrupt(p) && net.corruption_budget_left() > 0)
-          net.corrupt(p);
-        corrupted += net.is_corrupt(p) ? 1 : 0;
+        if (!corrupt[p] && budget_left > 0) {
+          corrupt[p] = true;
+          --budget_left;
+        }
+        corrupted += corrupt[p] ? 1 : 0;
       }
       after += static_cast<double>(corrupted) /
                static_cast<double>(res.committee.size());

@@ -7,11 +7,15 @@
 // the tournament phase (Theorem 2's Õ(n^{4/δ}) component) and the
 // A2E phase (the Õ(√n) component that dominates asymptotically). Fitted
 // log-log exponents summarise the scaling shape.
+//
+// The per-point wiring is the registry's `e1_everywhere` scenario (plus
+// `e1_a2e_phase` for the standalone Algorithm 3 cost split), swept over
+// n via the builder and over seeds via run_scenario's offset.
 #include <cmath>
 
-#include "adversary/strategies.h"
 #include "bench_util.h"
-#include "core/everywhere.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 namespace ba {
 namespace {
@@ -26,31 +30,26 @@ struct Point {
 };
 
 Point run_point(std::size_t n, std::size_t seeds, double corrupt) {
+  const sim::ScenarioSpec spec = sim::ScenarioRegistry::get("e1_everywhere")
+                                     .with_n(n)
+                                     .with_corrupt_fraction(corrupt);
+  const sim::ScenarioSpec a2e_spec =
+      sim::ScenarioRegistry::get("e1_a2e_phase").with_n(n);
   Point pt{static_cast<double>(n), 0, 0, 0, 0, 0};
   for (std::uint64_t s = 0; s < seeds; ++s) {
-    Network net(n, n / 3);
-    StaticMaliciousAdversary adv(corrupt, 1000 + s);
-    EverywhereBA proto = EverywhereBA::make(n, 7 + s);
-    auto inputs = bench::random_inputs(n, 40 + s);
-    auto res = proto.run(net, adv, inputs);
+    const sim::RunReport res = sim::run_scenario(spec, s);
 
     // Phase split: re-run Algorithm 3 standalone on a fresh ledger to get
     // its per-processor cost in isolation.
-    Network a2e_net(n, n / 3);
-    PassiveStaticAdversary passive({});
-    A2EParams ap = A2EParams::laptop_scale(n);
-    AlmostToEverywhere a2e(ap, 99 + s);
-    std::vector<std::uint64_t> beliefs(n, res.decided_bit ? 1 : 0);
-    a2e.run(a2e_net, passive, beliefs, res.decided_bit ? 1 : 0,
-            [](std::size_t loop, ProcId) { return loop * 2654435761u; });
+    const std::uint8_t decided = res.decided_bit == 1 ? 1 : 0;
+    const sim::RunReport a2e = sim::run_scenario(
+        a2e_spec.with_input_value(decided).with_truth_message(decided), s);
 
-    pt.bits_total += static_cast<double>(
-        net.ledger().max_bits_sent(net.corrupt_mask(), false));
-    pt.bits_a2e += static_cast<double>(
-        a2e_net.ledger().max_bits_sent(a2e_net.corrupt_mask(), false));
+    pt.bits_total += static_cast<double>(res.max_bits_good);
+    pt.bits_a2e += static_cast<double>(a2e.max_bits_good);
     pt.rounds += static_cast<double>(res.rounds);
-    pt.agree_rate += res.all_good_agree ? 1.0 : 0.0;
-    pt.validity_rate += res.validity ? 1.0 : 0.0;
+    pt.agree_rate += res.all_good_agree == 1 ? 1.0 : 0.0;
+    pt.validity_rate += res.validity == 1 ? 1.0 : 0.0;
   }
   const double d = static_cast<double>(seeds);
   pt.bits_total /= d;
@@ -73,7 +72,8 @@ int main() {
   // The e1_n16384 configuration (ROADMAP "multi-core bench sweep"): the
   // full Õ(√n) pipeline end to end at n = 16384, enabled by the parallel
   // round engine + share flows and the decode/dealing caches. Run on a
-  // 4+ core machine with BA_THREADS set; expect minutes per seed.
+  // 4+ core machine with BA_THREADS set; expect minutes per seed. (Also
+  // runnable directly: `ba_run --scenario e1_n16384 --workers 8 --json`.)
   if (const char* v = std::getenv("BA_BENCH_N16384"); v && v[0] == '1') {
     ns.push_back(8192);
     ns.push_back(16384);

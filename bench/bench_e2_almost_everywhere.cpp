@@ -5,12 +5,13 @@
 // Regenerates, per n: the fraction of good processors agreeing (claim:
 // >= 1 - 1/log n), validity, rounds against the polylog reference, and
 // per-processor bits. Also the per-node election agreement (how many good
-// members computed the same winner set).
+// members computed the same winner set). The wiring is the registry's
+// `e2_almost_everywhere` scenario swept over n and seeds.
 #include <cmath>
 
-#include "adversary/strategies.h"
 #include "bench_util.h"
-#include "core/almost_everywhere.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 int main() {
   using namespace ba;
@@ -27,21 +28,19 @@ int main() {
             "log2(n)^2", "max_bits/proc", "mean_election_agree"});
   std::vector<double> xs, rounds_series, bits_series;
   for (auto n : ns) {
+    const sim::ScenarioSpec spec =
+        sim::ScenarioRegistry::get("e2_almost_everywhere").with_n(n);
     double agree = 0, validity = 0, rounds = 0, bits = 0, elec = 0;
     for (std::uint64_t s = 0; s < seeds; ++s) {
-      Network net(n, n / 3);
-      StaticMaliciousAdversary adv(0.10, 2000 + s);
-      AlmostEverywhereBA proto(ProtocolParams::laptop_scale(n), 11 + s);
-      auto res = proto.run(net, adv, bench::random_inputs(n, 60 + s),
-                           /*release_sequence=*/false);
+      const sim::RunReport res = sim::run_scenario(spec, s);
       agree += res.agreement_fraction;
-      validity += res.validity ? 1 : 0;
+      validity += res.validity == 1 ? 1 : 0;
       rounds += static_cast<double>(res.rounds);
-      bits += static_cast<double>(
-          net.ledger().max_bits_sent(net.corrupt_mask(), false));
+      bits += static_cast<double>(res.max_bits_good);
+      const auto& levels = res.detail->ae->levels;
       double e = 0;
-      for (const auto& lvl : res.levels) e += lvl.mean_bin_agreement;
-      elec += res.levels.empty() ? 1.0 : e / res.levels.size();
+      for (const auto& lvl : levels) e += lvl.mean_bin_agreement;
+      elec += levels.empty() ? 1.0 : e / levels.size();
     }
     const double d = static_cast<double>(seeds);
     const double logn = bench::log2d(static_cast<double>(n));

@@ -6,12 +6,14 @@
 //
 // Three sweeps: corruption fraction (up to the 1/3 - eps boundary), coin
 // reliability t/s, and n (with the agreement deficit compared to the
-// C2 n / log n allowance).
+// C2 n / log n allowance). Each case pairs the registry's `e3_aeba`
+// (split-input agreement run) with `e3_aeba_unanimous` (validity run),
+// the swept dimension overridden via the builder.
 #include <cmath>
 
-#include "adversary/strategies.h"
-#include "aeba/aeba_with_coins.h"
 #include "bench_util.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 namespace ba {
 namespace {
@@ -24,53 +26,31 @@ struct Outcome {
 
 Outcome run_aeba_case(std::size_t n, double corrupt, double bad_coin_frac,
                       std::size_t rounds, std::size_t seeds) {
+  const sim::ScenarioSpec split = sim::ScenarioRegistry::get("e3_aeba")
+                                      .with_n(n)
+                                      .with_corrupt_fraction(corrupt)
+                                      .with_bad_coin_fraction(bad_coin_frac)
+                                      .with_aeba_rounds(rounds);
+  const sim::ScenarioSpec unanimous =
+      sim::ScenarioRegistry::get("e3_aeba_unanimous")
+          .with_n(n)
+          .with_corrupt_fraction(corrupt)
+          .with_bad_coin_fraction(bad_coin_frac)
+          .with_aeba_rounds(rounds);
   Outcome out;
   for (std::uint64_t s = 0; s < seeds; ++s) {
     // Split-input agreement run.
     {
-      Network net(n, n / 2);
-      Rng gr(300 + s);
-      auto graph = RegularGraph::random(
-          n, 2 * static_cast<std::size_t>(std::log2(n)), gr);
-      std::vector<ProcId> members(n);
-      for (std::size_t i = 0; i < n; ++i) members[i] = (ProcId)i;
-      AebaMachine machine(1, members, &graph, AebaParams{}, 1);
-      StaticMaliciousAdversary adv(corrupt, 400 + s);
-      adv.on_start(net);
-      Rng in(500 + s);
-      for (std::size_t p = 0; p < n; ++p)
-        machine.set_input(p, 0, in.flip());
-      std::vector<bool> bad(rounds, false);
-      Rng badr(600 + s);
-      for (std::size_t r = 0; r < rounds; ++r)
-        bad[r] = badr.bernoulli(bad_coin_frac);
-      UnreliableCoins coins(Rng(700 + s), bad);
-      coins.attach_votes(&machine.packed_votes(), machine.num_instances());
-      auto res = run_aeba(net, adv, machine, coins, rounds);
-      out.agreement += res.agreement[0];
-      out.informed += res.min_informed_fraction;
+      const sim::RunReport res = sim::run_scenario(split, s);
+      out.agreement += res.agreement_fraction;
+      out.informed += res.detail->aeba->min_informed_fraction;
     }
     // Unanimous-input validity run.
     {
-      Network net(n, n / 2);
-      Rng gr(310 + s);
-      auto graph = RegularGraph::random(
-          n, 2 * static_cast<std::size_t>(std::log2(n)), gr);
-      std::vector<ProcId> members(n);
-      for (std::size_t i = 0; i < n; ++i) members[i] = (ProcId)i;
-      AebaMachine machine(1, members, &graph, AebaParams{}, 1);
-      StaticMaliciousAdversary adv(corrupt, 410 + s);
-      adv.on_start(net);
-      for (std::size_t p = 0; p < n; ++p) machine.set_input(p, 0, true);
-      std::vector<bool> bad(rounds, false);
-      Rng badr(610 + s);
-      for (std::size_t r = 0; r < rounds; ++r)
-        bad[r] = badr.bernoulli(bad_coin_frac);
-      UnreliableCoins coins(Rng(710 + s), bad);
-      coins.attach_votes(&machine.packed_votes(), machine.num_instances());
-      auto res = run_aeba(net, adv, machine, coins, rounds);
+      const sim::RunReport res = sim::run_scenario(unanimous, s);
       out.validity +=
-          (res.decided[0] && res.agreement[0] >= 0.95) ? 1.0 : 0.0;
+          (res.decided_bit == 1 && res.agreement_fraction >= 0.95) ? 1.0
+                                                                   : 0.0;
     }
   }
   const double d = static_cast<double>(seeds);

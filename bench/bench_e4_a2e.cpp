@@ -6,25 +6,25 @@
 //     after X = O(log n) loops everyone agrees.
 //   * Lemma 9: at most (eps/4) n knowledgeable processors overloaded.
 //   * Theorem 4 cost: Õ(sqrt n) bits per processor (fitted exponent).
+//
+// Wiring: the registry's `e4_a2e` (flooding + sampled knowledgeable set),
+// `e4_flooding` (Lemma 9 overload), and `e4_cost` (passive cost shape)
+// scenarios, swept via the builder + seed offsets.
 #include <cmath>
 
-#include "adversary/strategies.h"
 #include "bench_util.h"
-#include "core/a2e.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
-namespace ba {
 namespace {
 
-std::function<std::uint64_t(std::size_t, ProcId)> labels_from(
-    std::uint64_t seed) {
-  return [seed](std::size_t loop, ProcId) {
-    std::uint64_t s = seed + loop * 1000003ULL;
-    return splitmix64(s);
-  };
+double extra(const ba::sim::RunReport& r, const char* key) {
+  for (const auto& [k, v] : r.extras)
+    if (k == key) return v;
+  return 0.0;
 }
 
 }  // namespace
-}  // namespace ba
 
 int main() {
   using namespace ba;
@@ -34,6 +34,8 @@ int main() {
   {
     // (a) knowledgeable-fraction sweep at fixed n.
     const std::size_t n = full ? 1024 : 512;
+    const sim::ScenarioSpec base =
+        sim::ScenarioRegistry::get("e4_a2e").with_n(n);
     Table t(
         "E4a / Lemmas 7-8 — A2E vs knowledgeable fraction (20% corrupt "
         "responders answer wrongly): loop success and wrong decisions");
@@ -42,21 +44,12 @@ int main() {
     for (double k : {0.55, 0.65, 0.75, 0.85, 0.95}) {
       double first = 0, agree = 0, wrong = 0;
       for (std::uint64_t s = 0; s < seeds; ++s) {
-        Network net(n, n / 3);
-        FloodingA2EAdversary adv(0.2, 800 + s);
-        adv.on_start(net);
-        Rng pick(900 + s);
-        std::vector<std::uint64_t> beliefs(n, 0);
-        for (auto p : pick.sample_without_replacement(
-                 n, static_cast<std::size_t>(k * n)))
-          beliefs[p] = 1;
-        AlmostToEverywhere a2e(A2EParams::laptop_scale(n), 1000 + s);
-        auto res = a2e.run(net, adv, beliefs, 1, labels_from(1100 + s));
-        first += res.loops.front().loop_success ? 1 : 0;
-        const double good =
-            static_cast<double>(net.good_procs().size());
-        agree += static_cast<double>(res.agree_count) / good;
-        wrong += static_cast<double>(res.wrong_count) / good;
+        const sim::RunReport res =
+            sim::run_scenario(base.with_input_fraction(k), s);
+        first += extra(res, "first_loop_success");
+        const double good = static_cast<double>(res.n - res.corrupt_count);
+        agree += res.agreement_fraction;
+        wrong += extra(res, "wrong_count") / good;
       }
       const double d = static_cast<double>(seeds);
       t.row({k, first / d, agree / d, wrong / d,
@@ -67,6 +60,8 @@ int main() {
   {
     // (b) Lemma 9 — overload under flooding.
     const std::size_t n = full ? 1024 : 512;
+    const sim::ScenarioSpec base =
+        sim::ScenarioRegistry::get("e4_flooding").with_n(n);
     Table t(
         "E4b / Lemma 9 — knowledgeable processors overloaded per loop "
         "under request flooding (bound: (eps/4) n w.p. 1 - 4/(eps log n))");
@@ -74,14 +69,10 @@ int main() {
     for (std::size_t flood : {0u, 64u, 256u, 1024u}) {
       std::size_t worst = 0;
       for (std::uint64_t s = 0; s < seeds; ++s) {
-        Network net(n, n / 3);
-        FloodingA2EAdversary adv(0.25, 1200 + s, flood);
-        adv.on_start(net);
-        std::vector<std::uint64_t> beliefs(n, 1);
-        AlmostToEverywhere a2e(A2EParams::laptop_scale(n), 1300 + s);
-        auto res = a2e.run(net, adv, beliefs, 1, labels_from(1400 + s));
-        for (const auto& loop : res.loops)
-          worst = std::max(worst, loop.overloaded_knowledgeable);
+        const sim::RunReport res =
+            sim::run_scenario(base.with_flood_per_pair(flood), s);
+        worst = std::max(worst, static_cast<std::size_t>(
+                                    extra(res, "max_overloaded")));
       }
       t.row({static_cast<std::int64_t>(flood),
              static_cast<std::int64_t>(worst),
@@ -98,15 +89,9 @@ int main() {
         full ? std::vector<std::size_t>{256, 1024, 4096, 16384}
              : std::vector<std::size_t>{256, 1024, 4096};
     for (auto n : ns) {
-      Network net(n, n / 3);
-      PassiveStaticAdversary adv({});
-      std::vector<std::uint64_t> beliefs(n, 1);
-      A2EParams ap = A2EParams::laptop_scale(n);
-      ap.repeats = 2;
-      AlmostToEverywhere a2e(ap, 1500);
-      a2e.run(net, adv, beliefs, 1, labels_from(1600));
-      const double bits = static_cast<double>(
-          net.ledger().max_bits_sent(net.corrupt_mask(), false));
+      const sim::RunReport res = sim::run_scenario(
+          sim::ScenarioRegistry::get("e4_cost").with_n(n));
+      const double bits = static_cast<double>(res.max_bits_good);
       const double logn = bench::log2d(static_cast<double>(n));
       xs.push_back(static_cast<double>(n));
       ys.push_back(bits);

@@ -1,12 +1,14 @@
 // E6 — Lemma 6 + Figure 1: "At least a 2/3 - 7l/log n fraction of winning
 // arrays are good on every level l" — the per-level survival trace of good
 // arrays through the tournament (the left half of Figure 1 is exactly this
-// tree; the table is its quantitative content).
+// tree; the table is its quantitative content). Wiring: the registry's
+// `e6_survival` scenario; the per-level stats ride in the report detail.
 #include <cmath>
 
-#include "adversary/strategies.h"
 #include "bench_util.h"
 #include "core/almost_everywhere.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 int main() {
   using namespace ba;
@@ -22,25 +24,24 @@ int main() {
               std::to_string(n) + ", corrupt=" + std::to_string(corrupt));
       t.header({"level", "elections", "winners", "good_winners",
                 "good_frac", "bound 2/3-7l/log n", "election_agreement"});
-      std::vector<double> frac_sum;
+      const sim::ScenarioSpec spec = sim::ScenarioRegistry::get("e6_survival")
+                                         .with_n(n)
+                                         .with_corrupt_fraction(corrupt);
       std::vector<AeLevelStats> acc;
       for (std::uint64_t s = 0; s < seeds; ++s) {
-        Network net(n, n / 3);
-        StaticMaliciousAdversary adv(corrupt, 100 + s);
-        AlmostEverywhereBA proto(ProtocolParams::laptop_scale(n), 500 + s);
-        auto res = proto.run(net, adv, bench::random_inputs(n, 700 + s),
-                             /*release_sequence=*/false);
-        if (acc.size() < res.levels.size()) {
+        const sim::RunReport res = sim::run_scenario(spec, s);
+        const auto& levels = res.detail->ae->levels;
+        if (acc.size() < levels.size()) {
           AeLevelStats zero;
           zero.mean_bin_agreement = 0.0;  // accumulator, not a default
-          acc.resize(res.levels.size(), zero);
+          acc.resize(levels.size(), zero);
         }
-        for (std::size_t i = 0; i < res.levels.size(); ++i) {
-          acc[i].level = res.levels[i].level;
-          acc[i].elections += res.levels[i].elections;
-          acc[i].winners_total += res.levels[i].winners_total;
-          acc[i].winners_good += res.levels[i].winners_good;
-          acc[i].mean_bin_agreement += res.levels[i].mean_bin_agreement;
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+          acc[i].level = levels[i].level;
+          acc[i].elections += levels[i].elections;
+          acc[i].winners_total += levels[i].winners_total;
+          acc[i].winners_good += levels[i].winners_good;
+          acc[i].mean_bin_agreement += levels[i].mean_bin_agreement;
         }
       }
       const double logn = bench::log2d(static_cast<double>(n));

@@ -4,12 +4,15 @@
 // and eps0."
 //
 // Sweeps the degree multiplier k and n, reporting the minimum informed
-// fraction over all rounds against the 1 - C2/log n allowance.
+// fraction over all rounds against the 1 - C2/log n allowance. Wiring:
+// the registry's `e7_informed` scenario (shared reliable coins) with the
+// graph degree overridden per point; E7b's 9100-series seeds are the
+// registry base shifted by offset 100 + 13s.
 #include <cmath>
 
-#include "adversary/strategies.h"
-#include "aeba/aeba_with_coins.h"
 #include "bench_util.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 namespace ba {
 namespace {
@@ -20,22 +23,17 @@ struct Informed {
 };
 
 Informed informed_stats(std::size_t n, double k_mult, double corrupt,
-                        std::size_t rounds, std::uint64_t seed) {
-  Network net(n, n / 2);
-  Rng gr(seed);
+                        std::size_t rounds, std::uint64_t seed_offset) {
   const std::size_t degree = std::max<std::size_t>(
       3, static_cast<std::size_t>(k_mult * std::log2(n)));
-  auto graph = RegularGraph::random(n, degree, gr);
-  std::vector<ProcId> members(n);
-  for (std::size_t i = 0; i < n; ++i) members[i] = (ProcId)i;
-  AebaMachine machine(1, members, &graph, AebaParams{}, 1);
-  StaticMaliciousAdversary adv(corrupt, seed + 1);
-  adv.on_start(net);
-  Rng in(seed + 2);
-  for (std::size_t p = 0; p < n; ++p) machine.set_input(p, 0, in.flip());
-  SharedRandomCoins coins(Rng(seed + 3));
-  auto res = run_aeba(net, adv, machine, coins, rounds);
-  return {res.mean_informed_fraction, res.min_informed_fraction};
+  const sim::ScenarioSpec spec = sim::ScenarioRegistry::get("e7_informed")
+                                     .with_n(n)
+                                     .with_corrupt_fraction(corrupt)
+                                     .with_aeba_rounds(rounds)
+                                     .with_aeba_degree(degree);
+  const sim::RunReport res = sim::run_scenario(spec, seed_offset);
+  return {res.detail->aeba->mean_informed_fraction,
+          res.detail->aeba->min_informed_fraction};
 }
 
 }  // namespace
@@ -57,7 +55,7 @@ int main() {
     for (double k : {0.5, 1.0, 2.0, 3.0, 4.0}) {
       double worst = 1.0, mean = 0.0;
       for (std::uint64_t s = 0; s < seeds; ++s) {
-        auto st = informed_stats(n, k, 0.2, rounds, 9000 + 17 * s);
+        auto st = informed_stats(n, k, 0.2, rounds, 17 * s);
         worst = std::min(worst, st.min);
         mean += st.mean;
       }
@@ -80,7 +78,7 @@ int main() {
     for (auto n : ns) {
       double mean = 0;
       for (std::uint64_t s = 0; s < seeds; ++s)
-        mean += informed_stats(n, 2.0, 0.2, rounds, 9100 + 13 * s).mean;
+        mean += informed_stats(n, 2.0, 0.2, rounds, 100 + 13 * s).mean;
       mean /= static_cast<double>(seeds);
       t.row({static_cast<std::int64_t>(n), mean, 1.0 - mean,
              1.5 / bench::log2d(static_cast<double>(n))});

@@ -8,14 +8,13 @@
 // everywhere protocol, with fitted exponents. Total-bit exponents are the
 // headline: ~2 for the quadratic baselines vs ~1.5 for King-Saia
 // (n processors × Õ(√n) each); the measured crossover point is reported
-// from the fitted curves.
+// from the fitted curves. Wiring: the registry's e9_rabin / e9_benor /
+// e9_kingsaia scenarios swept over n.
 #include <cmath>
 
-#include "adversary/strategies.h"
-#include "baseline/benor_ba.h"
-#include "baseline/rabin_ba.h"
 #include "bench_util.h"
-#include "core/everywhere.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 namespace ba {
 namespace {
@@ -26,40 +25,11 @@ struct Cost {
   double rounds = 0;
 };
 
-Cost measure_rabin(std::size_t n, std::uint64_t seed) {
-  Network net(n, n / 3);
-  StaticMaliciousAdversary adv(0.10, seed);
-  SharedRandomCoins coins(Rng(seed + 1));
-  auto res = run_rabin_ba(net, adv, bench::random_inputs(n, seed + 2),
-                          coins, 30);
-  return {static_cast<double>(
-              net.ledger().total_bits_sent(net.corrupt_mask(), false)),
-          static_cast<double>(
-              net.ledger().max_bits_sent(net.corrupt_mask(), false)),
-          static_cast<double>(res.rounds)};
-}
-
-Cost measure_benor(std::size_t n, std::uint64_t seed) {
-  Network net(n, n / 6);
-  CrashAdversary adv(0.1, seed);
-  adv.on_start(net);
-  auto res = run_benor_ba(net, adv, bench::unanimous(n, 1), seed + 1, 60);
-  return {static_cast<double>(
-              net.ledger().total_bits_sent(net.corrupt_mask(), false)),
-          static_cast<double>(
-              net.ledger().max_bits_sent(net.corrupt_mask(), false)),
-          static_cast<double>(res.rounds)};
-}
-
-Cost measure_king_saia(std::size_t n, std::uint64_t seed) {
-  Network net(n, n / 3);
-  StaticMaliciousAdversary adv(0.10, seed);
-  EverywhereBA proto = EverywhereBA::make(n, seed + 1);
-  auto res = proto.run(net, adv, bench::random_inputs(n, seed + 2));
-  return {static_cast<double>(
-              net.ledger().total_bits_sent(net.corrupt_mask(), false)),
-          static_cast<double>(
-              net.ledger().max_bits_sent(net.corrupt_mask(), false)),
+Cost measure(const char* scenario, std::size_t n) {
+  const sim::RunReport res = sim::run_scenario(
+      sim::ScenarioRegistry::get(scenario).with_n(n));
+  return {static_cast<double>(res.total_bits_good),
+          static_cast<double>(res.max_bits_good),
           static_cast<double>(res.rounds)};
 }
 
@@ -80,9 +50,9 @@ int main() {
             "rabin_max/proc", "kingsaia_max/proc"});
   std::vector<double> xs, rabin_tot, benor_tot, ks_tot;
   for (auto n : ns) {
-    auto r = measure_rabin(n, 2000);
-    auto b = measure_benor(n, 3000);
-    auto k = measure_king_saia(n, 4000);
+    auto r = measure("e9_rabin", n);
+    auto b = measure("e9_benor", n);
+    auto k = measure("e9_kingsaia", n);
     xs.push_back(static_cast<double>(n));
     rabin_tot.push_back(r.total);
     benor_tot.push_back(b.total);

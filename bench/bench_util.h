@@ -1,4 +1,6 @@
-// Shared scaffolding for the experiment benches (DESIGN.md §4).
+// Shared scaffolding for the experiment benches (docs/ARCHITECTURE.md,
+// "Scenario layer": protocol runs go through sim::run_scenario; this
+// header keeps the table/CSV printing and sweep helpers).
 //
 // Every bench prints one or more `ba::Table`s with a caption naming the
 // paper claim it regenerates. Set BA_BENCH_FULL=1 for the larger sweeps

@@ -8,24 +8,25 @@
 // secret-shared arrays instead of processors. There is nothing useful
 // left to corrupt: the winning arrays' owners erased them at the start,
 // and the shares are spread over node sets that grow with every level.
+//
+// Each act is one registry scenario (adaptive_attack_act1..act4).
 #include <cstdio>
 #include <cstdlib>
 
-#include "adversary/strategies.h"
-#include "baseline/processor_election.h"
-#include "core/almost_everywhere.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
-  const auto params = ba::ProtocolParams::laptop_scale(n);
-  std::vector<std::uint8_t> inputs(n, 1);  // unanimous: validity is crisp
+  auto act = [n](const char* scenario) {
+    return ba::sim::run_scenario(
+        ba::sim::ScenarioRegistry::get(scenario).with_n(n));
+  };
 
   std::printf("== Act 1: processor election vs static adversary ==\n");
   {
-    ba::Network net(n, n / 3);
-    ba::StaticMaliciousAdversary adv(0.10, 1);
-    ba::ProcessorElectionBA proto(params.tree, params.w, 2);
-    auto res = proto.run(net, adv, inputs);
+    const auto report = act("adaptive_attack_act1");
+    const ba::ProcessorElectionResult& res = *report.detail->election;
     std::printf(
         "  committee of %zu, %zu corrupt; agreement %.0f%%, validity %s\n",
         res.committee.size(), res.committee_corrupt,
@@ -34,10 +35,8 @@ int main(int argc, char** argv) {
 
   std::printf("\n== Act 2: processor election vs ADAPTIVE adversary ==\n");
   {
-    ba::Network net(n, n / 3);
-    ba::AdaptiveWinnerTakeover adv(3, /*corrupt_share_holders=*/false);
-    ba::ProcessorElectionBA proto(params.tree, params.w, 4);
-    auto res = proto.run(net, adv, inputs);
+    const auto report = act("adaptive_attack_act2");
+    const ba::ProcessorElectionResult& res = *report.detail->election;
     std::printf(
         "  committee of %zu, %zu corrupt (taken over after election!);\n"
         "  agreement %.0f%%, validity %s\n",
@@ -47,16 +46,13 @@ int main(int argc, char** argv) {
 
   std::printf("\n== Act 3: array election vs the same ADAPTIVE adversary ==\n");
   {
-    ba::Network net(n, n / 3);
-    ba::AdaptiveWinnerTakeover adv(5, /*corrupt_share_holders=*/false);
-    ba::AlmostEverywhereBA proto(params, 6);
-    auto res = proto.run(net, adv, inputs, /*release_sequence=*/false);
+    const auto report = act("adaptive_attack_act3");
     std::printf(
         "  adversary corrupts every winning array's *owner* — too late:\n"
         "  arrays were secret-shared and erased before the elections.\n"
         "  agreement %.1f%%, decided bit %d, validity %s\n",
-        100 * res.agreement_fraction, res.decided_bit ? 1 : 0,
-        res.validity ? "yes" : "NO");
+        100 * report.agreement_fraction, report.decided_bit,
+        report.validity == 1 ? "yes" : "NO");
   }
 
   std::printf(
@@ -68,17 +64,16 @@ int main(int argc, char** argv) {
     // below 1/3 - eps, so the paper's margins absorb it. At laptop scale
     // the near-root nodes already contain most processors, so a full n/3
     // budget concentrates past the reveal-phase error-correction margin
-    // (DESIGN.md §6.1) — expect real damage here, unlike Act 3.
-    ba::Network net(n, n / 3);
-    ba::AdaptiveWinnerTakeover adv(7, /*corrupt_share_holders=*/true);
-    ba::AlmostEverywhereBA proto(params, 8);
-    auto res = proto.run(net, adv, inputs, /*release_sequence=*/false);
+    // (docs/ARCHITECTURE.md, "Cost accounting") — expect real damage
+    // here, unlike Act 3.
+    const auto report = act("adaptive_attack_act4");
     std::printf(
         "  adversary floods the nodes *holding* winning shares with its\n"
         "  full n/3 budget: agreement %.1f%%, validity %s\n"
-        "  (a laptop-scale margin effect — see DESIGN.md §6.1; the\n"
+        "  (a laptop-scale margin effect — see docs/ARCHITECTURE.md; the\n"
         "  structural adaptive-security claim is Acts 2 vs 3)\n",
-        100 * res.agreement_fraction, res.validity ? "yes" : "no");
+        100 * report.agreement_fraction,
+        report.validity == 1 ? "yes" : "no");
   }
   return 0;
 }

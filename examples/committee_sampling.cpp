@@ -5,24 +5,21 @@
 //
 // The §1.3 caveat applies and is printed: by the time the sample is
 // public, an adaptive adversary can corrupt it, so committees must hold
-// no long-lived secrets — sample fresh, use immediately, rotate.
+// no long-lived secrets — sample fresh, use immediately, rotate. The
+// wiring is the registry's `committee_sampling` scenario.
 #include <cstdio>
 #include <cstdlib>
 
-#include "adversary/strategies.h"
-#include "core/universe_reduction.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
-  const std::size_t committee_size = 12;
 
-  ba::Network net(n, n / 3);
-  ba::StaticMaliciousAdversary adversary(0.10, 99);
-
-  auto params = ba::ProtocolParams::laptop_scale(n);
-  params.coin_words = 4;
-  ba::UniverseReduction reducer(params, committee_size, 7);
-  auto res = reducer.run(net, adversary);
+  const ba::sim::ScenarioSpec spec =
+      ba::sim::ScenarioRegistry::get("committee_sampling").with_n(n);
+  const ba::sim::RunReport report = ba::sim::run_scenario(spec);
+  const ba::UniverseResult& res = *report.detail->universe;
 
   std::printf("validator set: %zu nodes (10%% malicious)\n\n", n);
   std::printf("sampled committee (%zu members): ", res.committee.size());

@@ -7,51 +7,39 @@
 // anti-majority votes), disagree about a bit; the King-Saia protocol
 // brings every good processor to the same valid decision while each good
 // processor sends far fewer bits than the all-to-all baseline would need.
+//
+// The run is one registry scenario (sim/scenario.h): the spec names the
+// network, adversary, inputs and seeds; `run_scenario` drives the
+// protocol and returns a RunReport with everything printed below. Try
+// `ba_run --scenario quickstart --json` for the machine-readable form.
 #include <cstdio>
 #include <cstdlib>
 
-#include "adversary/strategies.h"
-#include "core/everywhere.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 128;
   const double corrupt = argc > 2 ? std::strtod(argv[2], nullptr) : 0.10;
 
-  // The simulated synchronous network: private channels, adaptive
-  // corruption budget of n/3.
-  ba::Network net(n, n / 3);
-
-  // A malicious adversary: corrupts `corrupt * n` random processors that
-  // lie in share flows and rush anti-majority votes.
-  ba::StaticMaliciousAdversary adversary(corrupt, /*seed=*/42);
-
-  // Inputs: processors disagree (the adversary chooses inputs in the
-  // paper's model; here half-and-half).
-  std::vector<std::uint8_t> inputs(n);
-  for (std::size_t p = 0; p < n; ++p) inputs[p] = p % 2;
-
-  // Laptop-scale parameters (DESIGN.md §6) and a run seed.
-  ba::EverywhereBA protocol = ba::EverywhereBA::make(n, /*seed=*/7);
-  ba::EverywhereResult result = protocol.run(net, adversary, inputs);
+  const ba::sim::ScenarioSpec spec = ba::sim::ScenarioRegistry::get("quickstart")
+                                         .with_n(n)
+                                         .with_corrupt_fraction(corrupt);
+  const ba::sim::RunReport report = ba::sim::run_scenario(spec);
 
   std::printf("n = %zu, corrupt = %.0f%%\n", n, 100 * corrupt);
-  std::printf("decided bit:              %d\n", result.decided_bit ? 1 : 0);
+  std::printf("decided bit:              %d\n", report.decided_bit);
   std::printf("validity (some good input): %s\n",
-              result.validity ? "yes" : "no");
+              report.validity == 1 ? "yes" : "no");
   std::printf("all good processors agree: %s\n",
-              result.all_good_agree ? "yes" : "no");
+              report.all_good_agree == 1 ? "yes" : "no");
   std::printf("almost-everywhere phase agreement: %.1f%%\n",
-              100 * result.ae.agreement_fraction);
+              100 * report.agreement_fraction);
   std::printf("rounds: %llu\n",
-              static_cast<unsigned long long>(result.rounds));
-
-  const auto& ledger = net.ledger();
-  const auto& mask = net.corrupt_mask();
+              static_cast<unsigned long long>(report.rounds));
   std::printf("max bits sent by a good processor: %llu\n",
-              static_cast<unsigned long long>(
-                  ledger.max_bits_sent(mask, false)));
+              static_cast<unsigned long long>(report.max_bits_good));
   std::printf("total bits sent by good processors: %llu\n",
-              static_cast<unsigned long long>(
-                  ledger.total_bits_sent(mask, false)));
-  return result.all_good_agree ? 0 : 1;
+              static_cast<unsigned long long>(report.total_bits_good));
+  return report.all_good_agree == 1 ? 0 : 1;
 }

@@ -6,27 +6,26 @@
 // and they are only reconstructed at release time.
 //
 // This is the primitive blockchain systems reach for (leader election,
-// committee sampling, lottery draws).
+// committee sampling, lottery draws). The wiring is the registry's
+// `randomness_beacon` scenario; the word views come from the report's
+// detail block (the full AeResult).
 #include <cstdio>
 #include <cstdlib>
 
-#include "adversary/strategies.h"
 #include "core/global_coin.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
 
-  ba::Network net(n, n / 3);
-  ba::StaticMaliciousAdversary adversary(0.10, 2024);
+  const ba::sim::ScenarioSpec spec =
+      ba::sim::ScenarioRegistry::get("randomness_beacon").with_n(n);
+  const ba::sim::RunReport report = ba::sim::run_scenario(spec);
+  const ba::AeResult& result = *report.detail->ae;
+  const ba::SequenceQuality& quality = *report.detail->sequence_quality;
+  const std::vector<bool>& corrupt_mask = report.detail->corrupt_mask;
 
-  auto params = ba::ProtocolParams::laptop_scale(n);
-  params.coin_words = 4;  // beacon emits 4 rounds of words per candidate
-
-  ba::AlmostEverywhereBA protocol(params, 77);
-  std::vector<std::uint8_t> inputs(n, 0);  // beacon needs no BA inputs
-  auto result = protocol.run(net, adversary, inputs);
-
-  auto quality = ba::assess_sequence(result, net.corrupt_mask());
   std::printf("beacon over %zu nodes (10%% malicious)\n", n);
   std::printf("emitted words:   %zu\n", quality.length);
   std::printf("usable words:    %zu (honest, intact, agreed a.e.)\n",
@@ -41,11 +40,11 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < result.seq_views.size() && shown < 8; ++i) {
     if (!result.seq_word_good[i]) continue;
     const std::uint64_t value =
-        ba::sequence_plurality(result, i, net.corrupt_mask());
+        ba::sequence_plurality(result, i, corrupt_mask);
     if (value != result.seq_truth[i]) continue;  // damaged in transit
     std::printf("  word %2zu: %016llx  (agreement %.1f%%)\n", i,
                 static_cast<unsigned long long>(value),
-                100 * ba::sequence_agreement(result, i, net.corrupt_mask()));
+                100 * ba::sequence_agreement(result, i, corrupt_mask));
     ++shown;
   }
   return quality.good_words * 2 >= quality.length ? 0 : 1;

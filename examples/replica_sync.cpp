@@ -8,70 +8,48 @@
 // 0), and a Byzantine minority actively fights commitment. The example
 // runs a sequence of commit decisions and reports throughput-relevant
 // stats: per-decision bits per replica vs the quadratic alternative.
+//
+// Each commit decision is the registry's `replica_sync_commit` scenario
+// with the update-visibility fraction overridden and the seeds shifted
+// per decision (run_scenario's seed_offset); the quadratic alternative is
+// the `replica_sync_rabin` scenario on the same simulator and ledger.
 #include <cstdio>
 #include <cstdlib>
 
-#include "adversary/strategies.h"
-#include "baseline/rabin_ba.h"
-#include "core/everywhere.h"
-
-namespace {
-
-struct CommitStats {
-  bool committed;
-  bool consistent;
-  std::uint64_t max_bits;
-};
-
-CommitStats decide_commit(std::size_t n, double seen_fraction,
-                          std::uint64_t seed) {
-  ba::Network net(n, n / 3);
-  ba::StaticMaliciousAdversary byzantine(0.10, seed);
-  // Replicas that received the update vote to commit.
-  ba::Rng rng(seed + 1);
-  std::vector<std::uint8_t> votes(n);
-  for (auto& v : votes) v = rng.bernoulli(seen_fraction) ? 1 : 0;
-
-  ba::EverywhereBA protocol = ba::EverywhereBA::make(n, seed + 2);
-  auto result = protocol.run(net, byzantine, votes);
-  return {result.decided_bit, result.all_good_agree,
-          net.ledger().max_bits_sent(net.corrupt_mask(), false)};
-}
-
-}  // namespace
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
   std::printf("replica fleet: %zu replicas, 10%% Byzantine\n\n", n);
+
+  const ba::sim::ScenarioSpec commit_spec =
+      ba::sim::ScenarioRegistry::get("replica_sync_commit").with_n(n);
 
   const double seen[] = {0.95, 0.70, 0.30, 0.05};
   std::printf("%-22s %-10s %-12s %-16s\n", "update visibility", "commit?",
               "consistent?", "max bits/replica");
   std::uint64_t worst_bits = 0;
   for (int i = 0; i < 4; ++i) {
-    auto st = decide_commit(n, seen[i], 100 + 31 * i);
-    worst_bits = std::max(worst_bits, st.max_bits);
+    const ba::sim::RunReport st = ba::sim::run_scenario(
+        commit_spec.with_input_fraction(seen[i]), 31 * i);
+    worst_bits = std::max(worst_bits, st.max_bits_good);
     std::printf("%-22.0f%% %-10s %-12s %-16llu\n", 100 * seen[i],
-                st.committed ? "yes" : "no",
-                st.consistent ? "yes" : "no",
-                static_cast<unsigned long long>(st.max_bits));
+                st.decided_bit == 1 ? "yes" : "no",
+                st.all_good_agree == 1 ? "yes" : "no",
+                static_cast<unsigned long long>(st.max_bits_good));
   }
 
   // The quadratic alternative for one decision, same simulator.
-  ba::Network net(n, n / 3);
-  ba::StaticMaliciousAdversary byzantine(0.10, 999);
-  ba::SharedRandomCoins coins(ba::Rng(1000));
-  std::vector<std::uint8_t> votes(n, 1);
-  ba::run_rabin_ba(net, byzantine, votes, coins, 30);
-  const auto rabin_bits =
-      net.ledger().max_bits_sent(net.corrupt_mask(), false);
+  const ba::sim::RunReport rabin = ba::sim::run_scenario(
+      ba::sim::ScenarioRegistry::get("replica_sync_rabin").with_n(n));
 
   std::printf(
       "\nPer-replica bits, one commit decision:\n"
       "  all-to-all (Rabin) : %llu  — grows ~linearly with fleet size\n"
       "  King-Saia          : %llu  — grows ~sqrt with fleet size "
       "(Theorem 1)\n",
-      static_cast<unsigned long long>(rabin_bits),
+      static_cast<unsigned long long>(rabin.max_bits_good),
       static_cast<unsigned long long>(worst_bits));
   std::printf(
       "(At this laptop-scale fleet the tournament's constants dominate; "

@@ -69,10 +69,25 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::print_csv(std::ostream& os) const {
-  auto emit = [&os](const std::vector<std::string>& row) {
+  // RFC 4180: cells containing the separator, quotes, or line breaks are
+  // quoted, with embedded quotes doubled — captions and string cells
+  // routinely contain commas, which used to shift every later column.
+  auto emit_cell = [&os](const std::string& cell) {
+    if (cell.find_first_of(",\"\r\n") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (char c : cell) {
+      if (c == '"') os << '"';
+      os << c;
+    }
+    os << '"';
+  };
+  auto emit = [&os, &emit_cell](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i) os << ',';
-      os << row[i];
+      emit_cell(row[i]);
     }
     os << '\n';
   };

@@ -25,7 +25,8 @@ ProtocolParams ProtocolParams::laptop_scale(std::size_t n) {
   // Same margin for the uplink re-dealings: t = d/4 = 3 corrects
   // e = (12 - 4) / 2 = 4 of 12 shares (a 1/3 error fraction). At laptop
   // scale the binomial tail of corrupt-holders-per-dealing is what limits
-  // the tolerable corruption rate — see DESIGN.md §6 and experiment E12.
+  // the tolerable corruption rate — see docs/ARCHITECTURE.md and
+  // experiment E12.
   p.tree.d_up = 12;
   p.tree.d_link = 9;  // sendOpen plurality needs only 2 agreeing leaf samples;
                       // 9 samples keep member views right even when half

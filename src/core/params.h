@@ -3,7 +3,8 @@
 // The paper's constants are asymptotic (k1 = log^3 n, w = 5c log^3 n,
 // q = log^delta n, ...) and exceed n at laptop scale; every theorem holds
 // "for n sufficiently large". ProtocolParams keeps the structural
-// relations and lets experiments sweep the constants (DESIGN.md §6). The
+// relations and lets experiments sweep the constants (via the scenario
+// spec's tournament knobs — docs/ARCHITECTURE.md, "Scenario layer"). The
 // E12 ablation bench quantifies the effect of each knob.
 //
 // Array layout (Algorithm 2 step 1 + Definition 4 + §3.5): processor i's
@@ -42,7 +43,7 @@ struct ProtocolParams {
   /// and leans on node-level majorities for correctness; we trade some
   /// privacy margin (t = d/4) for Berlekamp–Welch error correction of
   /// (d - t - 1)/2 = d/3 wrong shares per dealing, which is what makes
-  /// reconstruction concrete (DESIGN.md §2, §6).
+  /// reconstruction concrete (docs/ARCHITECTURE.md, "Cost accounting").
   std::size_t share_threshold_div = 4;
 
   /// Sensible defaults for a given n; q chosen so trees have 3-5 levels.

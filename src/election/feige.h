@@ -10,7 +10,8 @@
 //
 // Paper parameters: numBins = r / (5c log^3 n) and w = 5c log^3 n; at
 // laptop scale we keep the defining relation numBins = r / w (expected
-// lightest-bin load <= w) — see DESIGN.md §6.
+// lightest-bin load <= w) — see docs/ARCHITECTURE.md ("Paper → module
+// map"); experiment E12 sweeps the constants.
 #pragma once
 
 #include <cstdint>

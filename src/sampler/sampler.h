@@ -9,7 +9,8 @@
 // random multisets form a sampler w.h.p. The paper assumes nonuniform
 // advice or exponential-time search for an explicit object; we substitute
 // the probabilistic construction itself, drawn from a seeded PRG (see
-// DESIGN.md §2), and expose `bad_fraction` so tests verify the property
+// docs/ARCHITECTURE.md, "Paper → module map"), and expose `bad_fraction`
+// so tests verify the property
 // empirically on random subsets.
 //
 // The network construction (Section 3.2.2) uses samplers three ways:

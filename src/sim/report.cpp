@@ -1,0 +1,80 @@
+#include "sim/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+namespace ba::sim {
+
+void RunDigest::mix_double(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  mix(bits);
+}
+
+std::string json_double(double d) {
+  char buf[64];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  return buf;
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (u < 0x20) {
+      // RFC 8259: control characters must be escaped — and a raw newline
+      // would also break the one-object-per-line NDJSON contract.
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void RunReport::write_json(std::ostream& os, bool include_timing) const {
+  os << "{\"scenario\":";
+  write_escaped(os, scenario);
+  os << ",\"protocol\":\"" << to_string(protocol) << '"';
+  os << ",\"n\":" << n;
+  os << ",\"seed_offset\":" << seed_offset;
+  os << ",\"workers\":" << workers;
+  os << ",\"corrupt_count\":" << corrupt_count;
+  os << ",\"decided_bit\":" << decided_bit;
+  os << ",\"validity\":" << validity;
+  os << ",\"all_good_agree\":" << all_good_agree;
+  os << ",\"agreement_fraction\":" << json_double(agreement_fraction);
+  os << ",\"rounds\":" << rounds;
+  os << ",\"max_bits_good\":" << max_bits_good;
+  os << ",\"total_bits_good\":" << total_bits_good;
+  os << ",\"total_msgs_good\":" << total_msgs_good;
+  char fp[32];
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  os << ",\"fingerprint\":\"" << fp << '"';
+  os << ",\"extras\":{";
+  for (std::size_t i = 0; i < extras.size(); ++i) {
+    if (i) os << ',';
+    write_escaped(os, extras[i].first);
+    os << ':' << json_double(extras[i].second);
+  }
+  os << '}';
+  if (include_timing) os << ",\"wall_ms\":" << json_double(wall_ms);
+  os << '}';
+}
+
+}  // namespace ba::sim

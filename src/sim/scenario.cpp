@@ -1,0 +1,775 @@
+#include "sim/scenario.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.h"
+#include "sim/report.h"
+
+namespace ba::sim {
+
+namespace {
+
+struct EnumName {
+  int value;
+  const char* name;
+};
+
+constexpr EnumName kProtocolNames[] = {
+    {static_cast<int>(ProtocolKind::kEverywhere), "everywhere"},
+    {static_cast<int>(ProtocolKind::kAlmostEverywhere), "almost_everywhere"},
+    {static_cast<int>(ProtocolKind::kAeba), "aeba"},
+    {static_cast<int>(ProtocolKind::kBenOr), "benor"},
+    {static_cast<int>(ProtocolKind::kRabin), "rabin"},
+    {static_cast<int>(ProtocolKind::kA2E), "a2e"},
+    {static_cast<int>(ProtocolKind::kUniverseReduction), "universe_reduction"},
+    {static_cast<int>(ProtocolKind::kProcessorElection), "processor_election"},
+};
+
+constexpr EnumName kAdversaryNames[] = {
+    {static_cast<int>(AdversaryKind::kPassive), "passive"},
+    {static_cast<int>(AdversaryKind::kStaticMalicious), "static_malicious"},
+    {static_cast<int>(AdversaryKind::kCrash), "crash"},
+    {static_cast<int>(AdversaryKind::kAdaptiveTakeover), "adaptive_takeover"},
+    {static_cast<int>(AdversaryKind::kA2EFlooding), "a2e_flooding"},
+};
+
+constexpr EnumName kInputNames[] = {
+    {static_cast<int>(InputPattern::kAlternating), "alternating"},
+    {static_cast<int>(InputPattern::kUnanimous), "unanimous"},
+    {static_cast<int>(InputPattern::kRandom), "random"},
+    {static_cast<int>(InputPattern::kBernoulli), "bernoulli"},
+    {static_cast<int>(InputPattern::kSampledOnes), "sampled_ones"},
+};
+
+constexpr EnumName kLabelNames[] = {
+    {static_cast<int>(LabelRule::kSplitmix), "splitmix"},
+    {static_cast<int>(LabelRule::kLinear), "linear"},
+};
+
+template <std::size_t N>
+const char* enum_name(const EnumName (&table)[N], int value) {
+  for (const auto& e : table)
+    if (e.value == value) return e.name;
+  BA_REQUIRE(false, "unknown enum value");
+  return "";
+}
+
+template <std::size_t N>
+int enum_value(const EnumName (&table)[N], const std::string& name) {
+  for (const auto& e : table)
+    if (name == e.name) return e.value;
+  BA_REQUIRE(false, "unknown enum name in scenario spec");
+  return 0;
+}
+
+std::uint64_t parse_u64(const std::string& v) {
+  char* end = nullptr;
+  const std::uint64_t out = std::strtoull(v.c_str(), &end, 10);
+  BA_REQUIRE(end != v.c_str() && *end == '\0',
+             "integer spec values must be unsigned decimal numbers");
+  return out;
+}
+
+std::size_t parse_size(const std::string& v) {
+  return static_cast<std::size_t>(parse_u64(v));
+}
+
+double parse_double(const std::string& v) {
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  BA_REQUIRE(end != v.c_str() && *end == '\0',
+             "numeric spec values must be decimal numbers");
+  return out;
+}
+
+bool parse_bool(const std::string& v) {
+  BA_REQUIRE(v == "0" || v == "1" || v == "true" || v == "false",
+             "boolean spec values must be 0/1/true/false");
+  return v == "1" || v == "true";
+}
+
+}  // namespace
+
+const char* to_string(ProtocolKind k) {
+  return enum_name(kProtocolNames, static_cast<int>(k));
+}
+const char* to_string(AdversaryKind k) {
+  return enum_name(kAdversaryNames, static_cast<int>(k));
+}
+const char* to_string(InputPattern p) {
+  return enum_name(kInputNames, static_cast<int>(p));
+}
+const char* to_string(LabelRule r) {
+  return enum_name(kLabelNames, static_cast<int>(r));
+}
+
+#define BA_SIM_WITH(method, type, field)            \
+  ScenarioSpec ScenarioSpec::method(type v) const { \
+    ScenarioSpec out = *this;                       \
+    out.field = v;                                  \
+    return out;                                     \
+  }
+
+BA_SIM_WITH(with_name, std::string, name)
+BA_SIM_WITH(with_n, std::size_t, n)
+BA_SIM_WITH(with_budget_div, std::size_t, budget_div)
+BA_SIM_WITH(with_workers, std::size_t, workers)
+BA_SIM_WITH(with_adversary, AdversaryKind, adversary)
+BA_SIM_WITH(with_corrupt_fraction, double, corrupt_fraction)
+BA_SIM_WITH(with_adversary_seed, std::uint64_t, adversary_seed)
+BA_SIM_WITH(with_takeover_share_holders, bool, takeover_share_holders)
+BA_SIM_WITH(with_flood_per_pair, std::size_t, flood_per_pair)
+BA_SIM_WITH(with_inputs, InputPattern, inputs)
+BA_SIM_WITH(with_input_value, std::uint8_t, input_value)
+BA_SIM_WITH(with_input_fraction, double, input_fraction)
+BA_SIM_WITH(with_input_seed, std::uint64_t, input_seed)
+BA_SIM_WITH(with_protocol_seed, std::uint64_t, protocol_seed)
+BA_SIM_WITH(with_coin_words, std::size_t, coin_words)
+BA_SIM_WITH(with_release_sequence, bool, release_sequence)
+BA_SIM_WITH(with_committee_size, std::size_t, committee_size)
+BA_SIM_WITH(with_tree_q, std::size_t, q)
+BA_SIM_WITH(with_winners, std::size_t, w)
+BA_SIM_WITH(with_d_up, std::size_t, d_up)
+BA_SIM_WITH(with_g_intra, std::size_t, g_intra)
+BA_SIM_WITH(with_lock_rule_off, bool, lock_rule_off)
+BA_SIM_WITH(with_aeba_rounds, std::size_t, aeba_rounds)
+BA_SIM_WITH(with_aeba_instances, std::size_t, aeba_instances)
+BA_SIM_WITH(with_aeba_degree, std::size_t, aeba_degree)
+BA_SIM_WITH(with_bad_coin_fraction, double, bad_coin_fraction)
+BA_SIM_WITH(with_max_rounds, std::size_t, max_rounds)
+BA_SIM_WITH(with_a2e_repeats, std::size_t, a2e_repeats)
+BA_SIM_WITH(with_truth_message, std::uint64_t, truth_message)
+
+#undef BA_SIM_WITH
+
+std::vector<std::pair<std::string, std::string>> ScenarioSpec::to_kv() const {
+  std::vector<std::pair<std::string, std::string>> kv;
+  auto add = [&kv](const char* key, std::string value) {
+    kv.emplace_back(key, std::move(value));
+  };
+  add("name", name);
+  add("note", note);
+  add("heavy", heavy ? "1" : "0");
+  add("protocol", to_string(protocol));
+  add("n", std::to_string(n));
+  add("budget_div", std::to_string(budget_div));
+  add("workers", std::to_string(workers));
+  add("adversary", to_string(adversary));
+  add("corrupt_fraction", json_double(corrupt_fraction));
+  add("adversary_seed", std::to_string(adversary_seed));
+  add("takeover_share_holders", takeover_share_holders ? "1" : "0");
+  add("flood_per_pair", std::to_string(flood_per_pair));
+  add("inputs", to_string(inputs));
+  add("input_value", std::to_string(static_cast<unsigned>(input_value)));
+  add("input_fraction", json_double(input_fraction));
+  add("input_seed", std::to_string(input_seed));
+  add("protocol_seed", std::to_string(protocol_seed));
+  add("coin_words", std::to_string(coin_words));
+  add("release_sequence", release_sequence ? "1" : "0");
+  add("committee_size", std::to_string(committee_size));
+  add("q", std::to_string(q));
+  add("w", std::to_string(w));
+  add("k1", std::to_string(k1));
+  add("d_up", std::to_string(d_up));
+  add("g_intra", std::to_string(g_intra));
+  add("lock_rule_off", lock_rule_off ? "1" : "0");
+  add("aeba_rounds", std::to_string(aeba_rounds));
+  add("aeba_instances", std::to_string(aeba_instances));
+  add("aeba_degree", std::to_string(aeba_degree));
+  add("aeba_shared_coins", aeba_shared_coins ? "1" : "0");
+  add("bad_coin_fraction", json_double(bad_coin_fraction));
+  add("graph_seed", std::to_string(graph_seed));
+  add("bad_round_seed", std::to_string(bad_round_seed));
+  add("coin_seed", std::to_string(coin_seed));
+  add("max_rounds", std::to_string(max_rounds));
+  add("label_rule", to_string(label_rule));
+  add("label_seed", std::to_string(label_seed));
+  add("a2e_repeats", std::to_string(a2e_repeats));
+  add("truth_message", std::to_string(truth_message));
+  return kv;
+}
+
+void ScenarioSpec::apply(const std::string& key, const std::string& value) {
+  if (key == "name") name = value;
+  else if (key == "note") note = value;
+  else if (key == "heavy") heavy = parse_bool(value);
+  else if (key == "protocol")
+    protocol = static_cast<ProtocolKind>(enum_value(kProtocolNames, value));
+  else if (key == "n") n = parse_size(value);
+  else if (key == "budget_div") budget_div = parse_size(value);
+  else if (key == "workers") workers = parse_size(value);
+  else if (key == "adversary")
+    adversary = static_cast<AdversaryKind>(enum_value(kAdversaryNames, value));
+  else if (key == "corrupt_fraction") corrupt_fraction = parse_double(value);
+  else if (key == "adversary_seed") adversary_seed = parse_u64(value);
+  else if (key == "takeover_share_holders")
+    takeover_share_holders = parse_bool(value);
+  else if (key == "flood_per_pair") flood_per_pair = parse_size(value);
+  else if (key == "inputs")
+    inputs = static_cast<InputPattern>(enum_value(kInputNames, value));
+  else if (key == "input_value")
+    input_value = static_cast<std::uint8_t>(parse_u64(value));
+  else if (key == "input_fraction") input_fraction = parse_double(value);
+  else if (key == "input_seed") input_seed = parse_u64(value);
+  else if (key == "protocol_seed") protocol_seed = parse_u64(value);
+  else if (key == "coin_words") coin_words = parse_size(value);
+  else if (key == "release_sequence") release_sequence = parse_bool(value);
+  else if (key == "committee_size") committee_size = parse_size(value);
+  else if (key == "q") q = parse_size(value);
+  else if (key == "w") w = parse_size(value);
+  else if (key == "k1") k1 = parse_size(value);
+  else if (key == "d_up") d_up = parse_size(value);
+  else if (key == "g_intra") g_intra = parse_size(value);
+  else if (key == "lock_rule_off") lock_rule_off = parse_bool(value);
+  else if (key == "aeba_rounds") aeba_rounds = parse_size(value);
+  else if (key == "aeba_instances") aeba_instances = parse_size(value);
+  else if (key == "aeba_degree") aeba_degree = parse_size(value);
+  else if (key == "aeba_shared_coins") aeba_shared_coins = parse_bool(value);
+  else if (key == "bad_coin_fraction") bad_coin_fraction = parse_double(value);
+  else if (key == "graph_seed") graph_seed = parse_u64(value);
+  else if (key == "bad_round_seed") bad_round_seed = parse_u64(value);
+  else if (key == "coin_seed") coin_seed = parse_u64(value);
+  else if (key == "max_rounds") max_rounds = parse_size(value);
+  else if (key == "label_rule")
+    label_rule = static_cast<LabelRule>(enum_value(kLabelNames, value));
+  else if (key == "label_seed") label_seed = parse_u64(value);
+  else if (key == "a2e_repeats") a2e_repeats = parse_size(value);
+  else if (key == "truth_message") truth_message = parse_u64(value);
+  else
+    BA_REQUIRE(false, "unknown scenario spec key");
+}
+
+ScenarioSpec ScenarioSpec::from_kv(
+    const std::vector<std::pair<std::string, std::string>>& kv) {
+  ScenarioSpec spec;
+  for (const auto& [key, value] : kv) spec.apply(key, value);
+  return spec;
+}
+
+// --------------------------------------------------------------- registry --
+
+namespace {
+
+/// The example configurations, seed for seed as the historical binaries
+/// wired them (examples/*.cpp) — their fixed-seed outputs are pinned by
+/// golden tests and the parity suite.
+void register_examples(std::vector<ScenarioSpec>& out) {
+  {
+    ScenarioSpec s;
+    s.name = "quickstart";
+    s.note = "everywhere BA, 10% malicious, split inputs (examples/)";
+    s.protocol = ProtocolKind::kEverywhere;
+    s.n = 128;
+    s.adversary_seed = 42;
+    s.inputs = InputPattern::kAlternating;
+    s.protocol_seed = 7;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "randomness_beacon";
+    s.note = "§3.5 coin sequence as a beacon service (examples/)";
+    s.protocol = ProtocolKind::kAlmostEverywhere;
+    s.n = 256;
+    s.adversary_seed = 2024;
+    s.coin_words = 4;
+    s.inputs = InputPattern::kUnanimous;
+    s.input_value = 0;
+    s.protocol_seed = 77;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "committee_sampling";
+    s.note = "universe reduction samples a 12-member committee (examples/)";
+    s.protocol = ProtocolKind::kUniverseReduction;
+    s.n = 256;
+    s.adversary_seed = 99;
+    s.coin_words = 4;
+    s.committee_size = 12;
+    s.protocol_seed = 7;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "replica_sync_commit";
+    s.note = "replica-fleet commit decision, Bernoulli visibility "
+             "(examples/replica_sync)";
+    s.protocol = ProtocolKind::kEverywhere;
+    s.n = 256;
+    s.adversary_seed = 100;
+    s.inputs = InputPattern::kBernoulli;
+    s.input_fraction = 0.95;
+    s.input_seed = 101;
+    s.protocol_seed = 102;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "replica_sync_rabin";
+    s.note = "the quadratic alternative for one commit decision "
+             "(examples/replica_sync)";
+    s.protocol = ProtocolKind::kRabin;
+    s.n = 256;
+    s.adversary_seed = 999;
+    s.coin_seed = 1000;
+    s.inputs = InputPattern::kUnanimous;
+    s.max_rounds = 30;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "adaptive_attack_act1";
+    s.note = "processor election vs static adversary (examples/)";
+    s.protocol = ProtocolKind::kProcessorElection;
+    s.n = 256;
+    s.adversary_seed = 1;
+    s.protocol_seed = 2;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "adaptive_attack_act2";
+    s.note = "processor election vs ADAPTIVE takeover (examples/)";
+    s.protocol = ProtocolKind::kProcessorElection;
+    s.n = 256;
+    s.adversary = AdversaryKind::kAdaptiveTakeover;
+    s.adversary_seed = 3;
+    s.takeover_share_holders = false;
+    s.protocol_seed = 4;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "adaptive_attack_act3";
+    s.note = "array election vs the same adaptive adversary (examples/)";
+    s.protocol = ProtocolKind::kAlmostEverywhere;
+    s.n = 256;
+    s.adversary = AdversaryKind::kAdaptiveTakeover;
+    s.adversary_seed = 5;
+    s.takeover_share_holders = false;
+    s.protocol_seed = 6;
+    s.release_sequence = false;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "adaptive_attack_act4";
+    s.note = "array election vs share-holder takeover (examples/)";
+    s.protocol = ProtocolKind::kAlmostEverywhere;
+    s.n = 256;
+    s.adversary = AdversaryKind::kAdaptiveTakeover;
+    s.adversary_seed = 7;
+    s.takeover_share_holders = true;
+    s.protocol_seed = 8;
+    s.release_sequence = false;
+    out.push_back(s);
+  }
+}
+
+/// The E-series experiment configurations (bench/*.cpp). Benches sweep a
+/// dimension by overriding it with the fluent builder and shift all seeds
+/// per trial via run_scenario's seed_offset — the historical `base + s`.
+void register_experiments(std::vector<ScenarioSpec>& out) {
+  {
+    ScenarioSpec s;
+    s.name = "e1_everywhere";
+    s.note = "E1/Thm 1: everywhere BA cost + agreement point";
+    s.protocol = ProtocolKind::kEverywhere;
+    s.n = 256;
+    s.adversary_seed = 1000;
+    s.inputs = InputPattern::kRandom;
+    s.input_seed = 40;
+    s.protocol_seed = 7;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e1_a2e_phase";
+    s.note = "E1 phase split: Algorithm 3 standalone on a fresh ledger";
+    s.protocol = ProtocolKind::kA2E;
+    s.n = 256;
+    s.adversary = AdversaryKind::kPassive;
+    s.inputs = InputPattern::kUnanimous;
+    s.protocol_seed = 99;
+    s.label_rule = LabelRule::kLinear;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e1_n16384";
+    s.note = "ROADMAP multi-core sweep: the full pipeline at n = 16384";
+    s.heavy = true;
+    s.protocol = ProtocolKind::kEverywhere;
+    s.n = 16384;
+    s.adversary_seed = 1000;
+    s.inputs = InputPattern::kRandom;
+    s.input_seed = 40;
+    s.protocol_seed = 7;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e2_almost_everywhere";
+    s.note = "E2/Thm 2: tournament-only agreement point";
+    s.protocol = ProtocolKind::kAlmostEverywhere;
+    s.n = 256;
+    s.adversary_seed = 2000;
+    s.inputs = InputPattern::kRandom;
+    s.input_seed = 60;
+    s.protocol_seed = 11;
+    s.release_sequence = false;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e3_aeba";
+    s.note = "E3/Thm 5: standalone AEBA, split inputs, unreliable coins";
+    s.protocol = ProtocolKind::kAeba;
+    s.n = 400;
+    s.budget_div = 2;
+    s.corrupt_fraction = 0.2;
+    s.adversary_seed = 400;
+    s.inputs = InputPattern::kRandom;
+    s.input_seed = 500;
+    s.aeba_rounds = 24;
+    s.bad_coin_fraction = 1.0 / 3.0;
+    s.graph_seed = 300;
+    s.bad_round_seed = 600;
+    s.coin_seed = 700;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e3_aeba_unanimous";
+    s.note = "E3 validity run: unanimous inputs preserved under bad coins";
+    s.protocol = ProtocolKind::kAeba;
+    s.n = 400;
+    s.budget_div = 2;
+    s.corrupt_fraction = 0.2;
+    s.adversary_seed = 410;
+    s.inputs = InputPattern::kUnanimous;
+    s.aeba_rounds = 24;
+    s.bad_coin_fraction = 1.0 / 3.0;
+    s.graph_seed = 310;
+    s.bad_round_seed = 610;
+    s.coin_seed = 710;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e4_a2e";
+    s.note = "E4/Lemmas 7-8: A2E vs flooding, sampled knowledgeable set";
+    s.protocol = ProtocolKind::kA2E;
+    s.n = 512;
+    s.adversary = AdversaryKind::kA2EFlooding;
+    s.corrupt_fraction = 0.2;
+    s.adversary_seed = 800;
+    s.inputs = InputPattern::kSampledOnes;
+    s.input_fraction = 0.75;
+    s.input_seed = 900;
+    s.protocol_seed = 1000;
+    s.label_seed = 1100;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e4_flooding";
+    s.note = "E4b/Lemma 9: overload under request flooding";
+    s.protocol = ProtocolKind::kA2E;
+    s.n = 512;
+    s.adversary = AdversaryKind::kA2EFlooding;
+    s.corrupt_fraction = 0.25;
+    s.adversary_seed = 1200;
+    s.inputs = InputPattern::kUnanimous;
+    s.protocol_seed = 1300;
+    s.label_seed = 1400;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e4_cost";
+    s.note = "E4c/Thm 4: A2E per-processor bits, passive control";
+    s.protocol = ProtocolKind::kA2E;
+    s.n = 256;
+    s.adversary = AdversaryKind::kPassive;
+    s.inputs = InputPattern::kUnanimous;
+    s.protocol_seed = 1500;
+    s.label_seed = 1600;
+    s.a2e_repeats = 2;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e6_survival";
+    s.note = "E6/Lemma 6: per-level good winning-array survival";
+    s.protocol = ProtocolKind::kAlmostEverywhere;
+    s.n = 512;
+    s.adversary_seed = 100;
+    s.inputs = InputPattern::kRandom;
+    s.input_seed = 700;
+    s.protocol_seed = 500;
+    s.release_sequence = false;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e7_informed";
+    s.note = "E7/Lemma 11: informed fraction on a k log n-regular graph";
+    s.protocol = ProtocolKind::kAeba;
+    s.n = 512;
+    s.budget_div = 2;
+    s.corrupt_fraction = 0.2;
+    s.adversary_seed = 9001;
+    s.inputs = InputPattern::kRandom;
+    s.input_seed = 9002;
+    s.aeba_rounds = 12;
+    s.aeba_shared_coins = true;
+    s.graph_seed = 9000;
+    s.coin_seed = 9003;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e9_rabin";
+    s.note = "E9: Rabin all-to-all baseline cost point";
+    s.protocol = ProtocolKind::kRabin;
+    s.n = 256;
+    s.adversary_seed = 2000;
+    s.coin_seed = 2001;
+    s.inputs = InputPattern::kRandom;
+    s.input_seed = 2002;
+    s.max_rounds = 30;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e9_benor";
+    s.note = "E9: Ben-Or local-coin baseline cost point";
+    s.protocol = ProtocolKind::kBenOr;
+    s.n = 256;
+    s.budget_div = 6;
+    s.adversary = AdversaryKind::kCrash;
+    s.corrupt_fraction = 0.1;
+    s.adversary_seed = 3000;
+    s.inputs = InputPattern::kUnanimous;
+    s.protocol_seed = 3001;
+    s.max_rounds = 60;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e9_benor_small";
+    s.note = "E9 configuration at parity-test scale (crash minority)";
+    s.protocol = ProtocolKind::kBenOr;
+    s.n = 48;
+    s.budget_div = 6;
+    s.adversary = AdversaryKind::kCrash;
+    s.corrupt_fraction = 0.1;
+    s.adversary_seed = 13;
+    s.inputs = InputPattern::kRandom;
+    s.input_seed = 9;
+    s.protocol_seed = 10;
+    s.max_rounds = 200;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e9_kingsaia";
+    s.note = "E9: everywhere BA against the quadratic baselines";
+    s.protocol = ProtocolKind::kEverywhere;
+    s.n = 256;
+    s.adversary_seed = 4000;
+    s.protocol_seed = 4001;
+    s.inputs = InputPattern::kRandom;
+    s.input_seed = 4002;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e10_proc_static";
+    s.note = "E10/§1.3: processor election vs static adversary";
+    s.protocol = ProtocolKind::kProcessorElection;
+    s.n = 256;
+    s.adversary_seed = 100;
+    s.protocol_seed = 200;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e10_proc_adaptive";
+    s.note = "E10/§1.3: processor election vs winner takeover";
+    s.protocol = ProtocolKind::kProcessorElection;
+    s.n = 256;
+    s.adversary = AdversaryKind::kAdaptiveTakeover;
+    s.adversary_seed = 100;
+    s.takeover_share_holders = false;
+    s.protocol_seed = 200;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e10_array_static";
+    s.note = "E10/§1.3: array election vs static adversary";
+    s.protocol = ProtocolKind::kAlmostEverywhere;
+    s.n = 256;
+    s.adversary_seed = 300;
+    s.protocol_seed = 400;
+    s.release_sequence = false;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e10_array_adaptive";
+    s.note = "E10/§1.3: array election vs winner takeover";
+    s.protocol = ProtocolKind::kAlmostEverywhere;
+    s.n = 256;
+    s.adversary = AdversaryKind::kAdaptiveTakeover;
+    s.adversary_seed = 300;
+    s.takeover_share_holders = false;
+    s.protocol_seed = 400;
+    s.release_sequence = false;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e11_coins";
+    s.note = "E11/§3.5: released coin-sequence quality";
+    s.protocol = ProtocolKind::kAlmostEverywhere;
+    s.n = 256;
+    s.adversary_seed = 500;
+    s.coin_words = 4;
+    s.inputs = InputPattern::kRandom;
+    s.input_seed = 700;
+    s.protocol_seed = 600;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e12_ablation";
+    s.note = "E12: the laptop-scale design-knob ablation base config";
+    s.protocol = ProtocolKind::kAlmostEverywhere;
+    s.n = 512;
+    s.adversary_seed = 50;
+    s.inputs = InputPattern::kRandom;
+    s.input_seed = 250;
+    s.protocol_seed = 150;
+    s.release_sequence = false;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e13_universe";
+    s.note = "E13/§1: universe reduction, representative sampling";
+    s.protocol = ProtocolKind::kUniverseReduction;
+    s.n = 256;
+    s.adversary_seed = 100;
+    s.coin_words = 4;
+    s.committee_size = 16;
+    s.protocol_seed = 200;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "e13_universe_small";
+    s.note = "E13 configuration at parity-test scale";
+    s.protocol = ProtocolKind::kUniverseReduction;
+    s.n = 64;
+    s.corrupt_fraction = 0.15;
+    s.adversary_seed = 21;
+    s.coin_words = 3;
+    s.committee_size = 8;
+    s.protocol_seed = 31;
+    out.push_back(s);
+  }
+}
+
+/// Adversary-matrix base cells (tests/adversary_matrix_test.cpp): the
+/// test swaps the adversary kind and fraction per cell and shifts seeds
+/// with the cell index.
+void register_matrix(std::vector<ScenarioSpec>& out) {
+  {
+    ScenarioSpec s;
+    s.name = "matrix_everywhere";
+    s.note = "adversary matrix: everywhere BA, unanimous inputs";
+    s.protocol = ProtocolKind::kEverywhere;
+    s.n = 64;
+    s.adversary_seed = 1000;
+    s.protocol_seed = 70;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "matrix_everywhere_split";
+    s.note = "adversary matrix: everywhere BA, split inputs";
+    s.protocol = ProtocolKind::kEverywhere;
+    s.n = 64;
+    s.adversary_seed = 2000;
+    s.inputs = InputPattern::kAlternating;
+    s.protocol_seed = 90;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "matrix_benor";
+    s.note = "adversary matrix: Ben-Or baseline, unanimous inputs";
+    s.protocol = ProtocolKind::kBenOr;
+    s.n = 50;
+    s.budget_div = 6;
+    s.adversary_seed = 3000;
+    s.protocol_seed = 7;
+    s.max_rounds = 300;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
+    s.name = "matrix_clamped";
+    s.note = "adversary matrix: greedy strategies vs an n/8 budget";
+    s.protocol = ProtocolKind::kEverywhere;
+    s.n = 64;
+    s.budget_div = 8;
+    s.corrupt_fraction = 0.9;
+    s.adversary_seed = 4000;
+    s.flood_per_pair = 256;
+    s.protocol_seed = 110;
+    out.push_back(s);
+  }
+}
+
+std::vector<ScenarioSpec> build_registry() {
+  std::vector<ScenarioSpec> out;
+  register_examples(out);
+  register_experiments(out);
+  register_matrix(out);
+  return out;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& ScenarioRegistry::all() {
+  static const std::vector<ScenarioSpec> registry = build_registry();
+  return registry;
+}
+
+const ScenarioSpec* ScenarioRegistry::find(const std::string& name) {
+  for (const auto& spec : all())
+    if (spec.name == name) return &spec;
+  return nullptr;
+}
+
+const ScenarioSpec& ScenarioRegistry::get(const std::string& name) {
+  const ScenarioSpec* spec = find(name);
+  BA_REQUIRE(spec != nullptr, "unknown scenario name");
+  return *spec;
+}
+
+std::vector<std::string> ScenarioRegistry::names(bool include_heavy) {
+  std::vector<std::string> out;
+  for (const auto& spec : all())
+    if (include_heavy || !spec.heavy) out.push_back(spec.name);
+  return out;
+}
+
+}  // namespace ba::sim

@@ -1,51 +1,56 @@
 // Adversary scenario matrix: every concrete strategy in
 // adversary/strategies.h driven against both the paper's protocol stack
 // (everywhere BA = tournament AEBA + A2E) and the quadratic baseline
-// (Ben-Or), under the parallel round engine (4 pool workers). Each cell
-// asserts the protocol-level invariants that must survive that attack —
-// agreement among good processors, validity of the decided bit against
-// the unanimous good input, and the adaptive-corruption budget — so a
+// (Ben-Or), under the parallel round engine (4 pool workers). The base
+// cells are registry scenarios (sim/scenario.h: matrix_everywhere,
+// matrix_everywhere_split, matrix_benor, matrix_clamped); each cell swaps
+// in one adversary strategy via the fluent builder and shifts every seed
+// by the strategy index — the matrix is the registry spec × strategy
+// cross product, not a separate wiring. Each cell asserts the
+// protocol-level invariants that must survive that attack — agreement
+// among good processors, validity of the decided bit against the
+// unanimous good input, and the adaptive-corruption budget — so a
 // strategy regression (an attack silently becoming a no-op) or a
 // protocol regression (an attack suddenly winning) both fail loudly.
 #include <gtest/gtest.h>
 
-#include <memory>
-
-#include "adversary/strategies.h"
-#include "baseline/benor_ba.h"
 #include "common/pool.h"
-#include "core/everywhere.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
 
 namespace ba {
 namespace {
 
-/// The four strategies, constructed fresh per cell (strategies hold Rng
-/// state and AdaptiveWinnerTakeover accumulates observations).
-std::unique_ptr<Adversary> make_strategy(int which, std::uint64_t seed) {
-  switch (which) {
-    case 0:
-      return std::make_unique<StaticMaliciousAdversary>(0.15, seed);
-    case 1:
-      return std::make_unique<CrashAdversary>(0.20, seed);
-    case 2:
-      return std::make_unique<AdaptiveWinnerTakeover>(seed);
-    default:
-      return std::make_unique<FloodingA2EAdversary>(0.15, seed,
-                                                    /*flood_per_pair=*/64);
-  }
-}
+using sim::AdversaryKind;
+using sim::RunReport;
+using sim::ScenarioRegistry;
+using sim::ScenarioSpec;
 
-const char* strategy_name(int which) {
-  switch (which) {
-    case 0:
-      return "static-malicious";
-    case 1:
-      return "crash";
-    case 2:
-      return "adaptive-winner-takeover";
-    default:
-      return "a2e-flooding";
-  }
+/// The four strategies with their historical per-strategy fractions
+/// (strategies are constructed fresh per cell inside run_scenario;
+/// AdaptiveWinnerTakeover accumulates observations and takes no
+/// fraction).
+struct StrategyCell {
+  AdversaryKind kind;
+  double fraction;       ///< ignored by the takeover strategy
+  const char* name;
+};
+
+constexpr StrategyCell kStrategies[] = {
+    {AdversaryKind::kStaticMalicious, 0.15, "static-malicious"},
+    {AdversaryKind::kCrash, 0.20, "crash"},
+    {AdversaryKind::kAdaptiveTakeover, 0.0, "adaptive-winner-takeover"},
+    {AdversaryKind::kA2EFlooding, 0.15, "a2e-flooding"},
+};
+
+/// Base spec + strategy cell -> the cell's spec; seeds shift with the
+/// strategy index (the historical `1000 + which` wiring).
+RunReport run_cell(const ScenarioSpec& base, int which) {
+  const StrategyCell& cell = kStrategies[which];
+  ScenarioSpec spec = base.with_adversary(cell.kind);
+  if (cell.kind != AdversaryKind::kAdaptiveTakeover)
+    spec = spec.with_corrupt_fraction(cell.fraction);
+  return sim::run_scenario(spec, static_cast<std::uint64_t>(which));
 }
 
 class AdversaryMatrixTest : public ::testing::Test {
@@ -58,35 +63,32 @@ class AdversaryMatrixTest : public ::testing::Test {
 
 TEST_F(AdversaryMatrixTest, EverywhereBaSurvivesEveryStrategy) {
   const std::size_t n = 64;
+  // Unanimous good inputs: validity then pins the decided bit, so a
+  // successful attack cannot hide behind a "both answers were valid"
+  // split start.
+  const ScenarioSpec base = ScenarioRegistry::get("matrix_everywhere");
   for (int which = 0; which < 4; ++which) {
-    SCOPED_TRACE(strategy_name(which));
-    Network net(n, n / 3);
-    auto adversary = make_strategy(which, 1000 + which);
-    // Unanimous good inputs: validity then pins the decided bit, so a
-    // successful attack cannot hide behind a "both answers were valid"
-    // split start.
-    std::vector<std::uint8_t> inputs(n, 1);
-    EverywhereBA protocol = EverywhereBA::make(n, 70 + which);
-    EverywhereResult result = protocol.run(net, *adversary, inputs);
+    SCOPED_TRACE(kStrategies[which].name);
+    const RunReport result = run_cell(base, which);
 
     // Corruption budget: the (1/3 - eps) cap held throughout.
-    EXPECT_LE(net.corrupt_count(), n / 3);
+    EXPECT_LE(result.corrupt_count, n / 3);
     // Validity: the decided bit is the unanimous good input.
-    EXPECT_TRUE(result.validity);
-    EXPECT_TRUE(result.decided_bit);
-    if (which == 2) {
+    EXPECT_EQ(result.validity, 1);
+    EXPECT_EQ(result.decided_bit, 1);
+    if (kStrategies[which].kind == AdversaryKind::kAdaptiveTakeover) {
       // The full-budget adaptive takeover (experiment E10) measurably
       // erodes laptop-scale agreement — the theorem's constants want
       // larger n — but a strong majority of good processors must still
       // hold the valid bit, and the attack must actually have spent
       // adaptive corruptions to get even that far.
-      EXPECT_GE(result.ae.agreement_fraction, 0.6);
-      EXPECT_GE(net.corrupt_count(), n / 6);
+      EXPECT_GE(result.agreement_fraction, 0.6);
+      EXPECT_GE(result.corrupt_count, n / 6);
     } else {
       // Bounded-fraction strategies: the tournament keeps almost all
       // good processors together and A2E finishes the job.
-      EXPECT_TRUE(result.all_good_agree);
-      EXPECT_GE(result.ae.agreement_fraction, 0.8);
+      EXPECT_EQ(result.all_good_agree, 1);
+      EXPECT_GE(result.agreement_fraction, 0.8);
     }
   }
 }
@@ -96,20 +98,16 @@ TEST_F(AdversaryMatrixTest, EverywhereBaSplitInputsStayConsistent) {
   // wins must be some good processor's input, and the good population
   // must not be torn apart.
   const std::size_t n = 64;
+  const ScenarioSpec base = ScenarioRegistry::get("matrix_everywhere_split");
   for (int which : {0, 2}) {
-    SCOPED_TRACE(strategy_name(which));
-    Network net(n, n / 3);
-    auto adversary = make_strategy(which, 2000 + which);
-    std::vector<std::uint8_t> inputs(n);
-    for (std::size_t p = 0; p < n; ++p) inputs[p] = p % 2;
-    EverywhereBA protocol = EverywhereBA::make(n, 90 + which);
-    EverywhereResult result = protocol.run(net, *adversary, inputs);
-    EXPECT_LE(net.corrupt_count(), n / 3);
-    EXPECT_TRUE(result.validity);
-    if (which == 2) {
-      EXPECT_GE(result.ae.agreement_fraction, 0.6);  // E10 erosion, see above
+    SCOPED_TRACE(kStrategies[which].name);
+    const RunReport result = run_cell(base, which);
+    EXPECT_LE(result.corrupt_count, n / 3);
+    EXPECT_EQ(result.validity, 1);
+    if (kStrategies[which].kind == AdversaryKind::kAdaptiveTakeover) {
+      EXPECT_GE(result.agreement_fraction, 0.6);  // E10 erosion, see above
     } else {
-      EXPECT_TRUE(result.all_good_agree);
+      EXPECT_EQ(result.all_good_agree, 1);
     }
   }
 }
@@ -118,41 +116,32 @@ TEST_F(AdversaryMatrixTest, BenOrBaselineSurvivesEveryStrategy) {
   // Ben-Or tolerates t < n/5; the budget is capped accordingly and every
   // strategy's corruption attempt is clamped to it by the network.
   const std::size_t n = 50;
+  const ScenarioSpec base = ScenarioRegistry::get("matrix_benor");
   for (int which = 0; which < 4; ++which) {
-    SCOPED_TRACE(strategy_name(which));
-    Network net(n, n / 6);
-    auto adversary = make_strategy(which, 3000 + which);
-    auto res = run_benor_ba(net, *adversary, std::vector<std::uint8_t>(n, 1),
-                            7 + which, /*max_rounds=*/300);
-    EXPECT_LE(net.corrupt_count(), n / 6);
-    EXPECT_TRUE(res.decided_bit);
-    EXPECT_TRUE(res.validity);
-    EXPECT_TRUE(res.all_good_agree);
+    SCOPED_TRACE(kStrategies[which].name);
+    const RunReport res = run_cell(base, which);
+    EXPECT_LE(res.corrupt_count, n / 6);
+    EXPECT_EQ(res.decided_bit, 1);
+    EXPECT_EQ(res.validity, 1);
+    EXPECT_EQ(res.all_good_agree, 1);
     EXPECT_GE(res.agreement_fraction, 0.99);
   }
 }
 
 TEST_F(AdversaryMatrixTest, GreedyStrategiesAreClampedToBudget) {
   // Strategies asked for far more than the budget allows must be clamped
-  // by the network, not throw through the protocol.
+  // by the network, not throw through the protocol. The matrix_clamped
+  // spec carries the greedy 0.9 fraction and the 256-per-pair flood.
   const std::size_t n = 64;
+  const ScenarioSpec base = ScenarioRegistry::get("matrix_clamped");
   for (int which = 0; which < 4; ++which) {
-    SCOPED_TRACE(strategy_name(which));
-    Network net(n, n / 8);  // much tighter than the strategies' fractions
-    std::unique_ptr<Adversary> adversary;
-    if (which == 0)
-      adversary = std::make_unique<StaticMaliciousAdversary>(0.9, 4000);
-    else if (which == 1)
-      adversary = std::make_unique<CrashAdversary>(0.9, 4001);
-    else if (which == 2)
-      adversary = std::make_unique<AdaptiveWinnerTakeover>(4002);
-    else
-      adversary = std::make_unique<FloodingA2EAdversary>(0.9, 4003, 256);
-    std::vector<std::uint8_t> inputs(n, 1);
-    EverywhereBA protocol = EverywhereBA::make(n, 110 + which);
-    EverywhereResult result = protocol.run(net, *adversary, inputs);
-    EXPECT_LE(net.corrupt_count(), n / 8);
-    EXPECT_TRUE(result.validity);
+    SCOPED_TRACE(kStrategies[which].name);
+    ScenarioSpec spec =
+        base.with_adversary(kStrategies[which].kind);
+    const RunReport result =
+        sim::run_scenario(spec, static_cast<std::uint64_t>(which));
+    EXPECT_LE(result.corrupt_count, n / 8);
+    EXPECT_EQ(result.validity, 1);
   }
 }
 

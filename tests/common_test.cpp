@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <set>
+#include <sstream>
 
 #include "common/arena.h"
 #include "common/field.h"
@@ -435,6 +436,31 @@ TEST(FitLogLog, IgnoresNonPositivePoints) {
 
 TEST(FitLogLog, NeedsTwoPoints) {
   EXPECT_THROW(fit_log_log_exponent({1.0}, {1.0}), std::logic_error);
+}
+
+TEST(TableCsv, PlainCellsStayUnquoted) {
+  Table t("caption is not emitted");
+  t.header({"n", "value"});
+  t.row({std::int64_t{4}, 1.5});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "n,value\n4,1.5\n");
+}
+
+TEST(TableCsv, Rfc4180QuotesSeparatorsQuotesAndNewlines) {
+  // Cells with commas/quotes used to be emitted raw, shifting every
+  // later column of the row — RFC 4180 requires quoting the cell and
+  // doubling embedded quotes.
+  Table t("csv escaping");
+  t.header({"series, unit", "note"});
+  t.row({std::string("a \"quoted\" name"), std::string("line\nbreak")});
+  t.row({std::string("plain"), std::string("also plain")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(),
+            "\"series, unit\",note\n"
+            "\"a \"\"quoted\"\" name\",\"line\nbreak\"\n"
+            "plain,also plain\n");
 }
 
 }  // namespace

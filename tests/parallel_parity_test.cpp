@@ -1,71 +1,59 @@
-// Serial-vs-parallel parity battery for the round engine (common/pool.h).
+// Serial-vs-parallel parity battery for the round engine (common/pool.h),
+// driven through the scenario layer (sim/protocol.h).
 //
 // Parallelism is a hard determinism contract, not a best-effort speedup:
 // every protocol run at a fixed seed must produce byte-identical bit
-// ledgers and decisions whether the pool runs 1, 2, or 8 workers. Each
-// scenario below digests everything observable from a run — the full
-// per-processor ledger (bits/messages sent, bits received), decisions,
-// agreement state, round counts, released sequence views — into one
-// 64-bit fingerprint and asserts the fingerprint is invariant under the
-// worker count. Scenarios mirror the examples (quickstart,
-// randomness_beacon) and one E-series configuration per protocol family:
-// AEBA with unreliable coins (E3), Ben-Or (E9), almost-everywhere-to-
-// everywhere (E4), and universe reduction (E13).
+// ledgers and decisions whether the pool runs 1, 2, or 8 workers. The
+// protocol scenarios are registry specs (sim/scenario.h) whose
+// RunReport::fingerprint digests everything observable from a run — the
+// full per-processor ledger (bits/messages sent, bits received),
+// decisions, agreement state, round counts, released sequence views —
+// and each test asserts the fingerprint is invariant under the worker
+// count. The fingerprints are additionally pinned to committed constants:
+// the scenario layer adapters must reproduce the historical hand-rolled
+// wiring bit for bit, and a pinned digest catches any drift in adapter
+// wiring, Rng draw order, or ledger charging. (If a future PR
+// deliberately changes protocol draw order, re-record the constants from
+// a trusted serial run.)
+//
+// Scenarios mirror the examples (quickstart, randomness_beacon) and one
+// E-series configuration per protocol family: AEBA with unreliable coins
+// (E3), Ben-Or (E9), almost-everywhere-to-everywhere (E4), and universe
+// reduction (E13). Two harness-level scenarios (the ShareFlow secret-
+// sharing storm and mixed-tag delivery) exercise layers below the
+// protocol adapters and stay hand-rolled.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstring>
 #include <functional>
 
-#include "adversary/strategies.h"
-#include "aeba/aeba_with_coins.h"
-#include "baseline/benor_ba.h"
 #include "common/pool.h"
-#include "core/a2e.h"
-#include "core/everywhere.h"
-#include "core/global_coin.h"
 #include "core/share_flow.h"
-#include "core/universe_reduction.h"
+#include "net/network.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
+#include "tree/tournament_tree.h"
 
 namespace ba {
 namespace {
 
-std::vector<std::uint8_t> random_inputs(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<std::uint8_t> in(n);
-  for (auto& b : in) b = rng.flip() ? 1 : 0;
-  return in;
-}
+using sim::RunDigest;
+using sim::ScenarioRegistry;
+using sim::ScenarioSpec;
 
-/// Run fingerprint accumulator (FNV-1a from common/rng.h plus a
-/// bit-exact double mixer).
-struct Digest : Fnv1a {
-  void mix_double(double v) {
-    std::uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
-    std::memcpy(&bits, &v, sizeof(bits));
-    mix(bits);
-  }
-};
-
-/// Digest the complete per-processor ledger — the ISSUE's "byte-identical
-/// ledger bit counts" is checked processor by processor, not in
-/// aggregate, so a reshuffled charge cannot cancel out.
-void mix_ledger(Digest& d, const Network& net) {
-  const BitLedger& ledger = net.ledger();
-  for (ProcId p = 0; p < net.size(); ++p) {
-    d.mix(ledger.bits_sent(p));
-    d.mix(ledger.msgs_sent(p));
-    d.mix(ledger.bits_received(p));
-  }
-  d.mix(net.round());
-  d.mix(net.corrupt_count());
-}
+/// Digest the complete per-processor ledger — byte-identical ledgers are
+/// checked processor by processor, not in aggregate, so a reshuffled
+/// charge cannot cancel out. (Protocol scenarios get this via
+/// sim::mix_run_ledger inside their fingerprint.)
+void mix_ledger(RunDigest& d, const Network& net) { sim::mix_run_ledger(d, net); }
 
 /// Runs `scenario` at 1, 2, and 8 pool workers and asserts identical
 /// fingerprints; restores the environment-default worker count after.
+/// When `expected` is nonzero the serial fingerprint must also equal it.
 void expect_parity(const char* name,
-                   const std::function<std::uint64_t()>& scenario) {
+                   const std::function<std::uint64_t()>& scenario,
+                   std::uint64_t expected = 0) {
   Pool::set_threads(1);
   const std::uint64_t serial = scenario();
   Pool::set_threads(2);
@@ -75,152 +63,77 @@ void expect_parity(const char* name,
   Pool::set_threads(0);
   EXPECT_EQ(serial, two) << name << ": 2 workers diverged from serial";
   EXPECT_EQ(serial, eight) << name << ": 8 workers diverged from serial";
+  if (expected != 0)
+    EXPECT_EQ(serial, expected)
+        << name << ": scenario-layer wiring drifted from the recorded "
+        << "hand-rolled digest";
+}
+
+/// Registry scenario -> serial-run fingerprint.
+std::function<std::uint64_t()> registry_scenario(ScenarioSpec spec) {
+  return [spec] { return sim::run_scenario(spec).fingerprint; };
 }
 
 // ------------------------------------------------------------ scenarios --
 
-std::uint64_t run_quickstart() {
+TEST(ParallelParity, Quickstart) {
   // examples/quickstart.cpp at test scale: full everywhere BA under the
   // static malicious adversary, split inputs.
-  const std::size_t n = 64;
-  Network net(n, n / 3);
-  StaticMaliciousAdversary adversary(0.10, 42);
-  std::vector<std::uint8_t> inputs(n);
-  for (std::size_t p = 0; p < n; ++p) inputs[p] = p % 2;
-  EverywhereBA protocol = EverywhereBA::make(n, 7);
-  EverywhereResult result = protocol.run(net, adversary, inputs);
-  Digest d;
-  d.mix(result.decided_bit ? 1 : 0);
-  d.mix(result.all_good_agree ? 1 : 0);
-  d.mix(result.validity ? 1 : 0);
-  d.mix(result.rounds);
-  d.mix_double(result.ae.agreement_fraction);
-  for (auto bit : result.ae.decision) d.mix(bit);
-  for (auto m : result.a2e.message) d.mix(m);
-  mix_ledger(d, net);
-  return d.h;
+  expect_parity("quickstart",
+                registry_scenario(ScenarioRegistry::get("quickstart")
+                                      .with_n(64)),
+                0xf02745d8803eef56ULL);
 }
 
-std::uint64_t run_randomness_beacon() {
+TEST(ParallelParity, RandomnessBeacon) {
   // examples/randomness_beacon.cpp at test scale: the released §3.5
   // sequence views are per-processor words — any divergent view flips
-  // the digest.
-  const std::size_t n = 64;
-  Network net(n, n / 3);
-  StaticMaliciousAdversary adversary(0.10, 2024);
-  auto params = ProtocolParams::laptop_scale(n);
-  params.coin_words = 4;
-  AlmostEverywhereBA protocol(params, 77);
-  std::vector<std::uint8_t> inputs(n, 0);
-  auto result = protocol.run(net, adversary, inputs);
-  auto quality = assess_sequence(result, net.corrupt_mask());
-  Digest d;
-  d.mix(quality.length);
-  d.mix(quality.good_words);
-  d.mix_double(quality.min_good_agreement);
-  for (const auto& word_views : result.seq_views)
-    for (auto v : word_views) d.mix(v);
-  for (auto t : result.seq_truth) d.mix(t);
-  mix_ledger(d, net);
-  return d.h;
+  // the fingerprint.
+  expect_parity("randomness_beacon",
+                registry_scenario(ScenarioRegistry::get("randomness_beacon")
+                                      .with_n(64)),
+                0xfb1a14fa6a1fc4d1ULL);
 }
 
-std::uint64_t run_aeba_e3() {
-  // E3 configuration: standalone AEBA over a sparse random graph with
-  // unreliable coins (a third of the rounds adversarial) and rushing
-  // malicious votes.
-  const std::size_t n = 96, rounds = 16;
-  Network net(n, n / 2);
-  Rng gr(300);
-  auto graph = RegularGraph::random(
-      n, 2 * static_cast<std::size_t>(std::log2(n)), gr);
-  std::vector<ProcId> members(n);
-  for (std::size_t i = 0; i < n; ++i) members[i] = static_cast<ProcId>(i);
-  AebaMachine machine(1, members, &graph, AebaParams{}, 3);
-  StaticMaliciousAdversary adv(0.2, 400);
-  adv.on_start(net);
-  Rng in(500);
-  for (std::size_t p = 0; p < n; ++p)
-    for (std::size_t i = 0; i < 3; ++i) machine.set_input(p, i, in.flip());
-  std::vector<bool> bad(rounds, false);
-  Rng badr(600);
-  for (std::size_t r = 0; r < rounds; ++r) bad[r] = badr.bernoulli(1.0 / 3);
-  UnreliableCoins coins(Rng(700), bad);
-  coins.attach_votes(&machine.packed_votes(), machine.num_instances());
-  auto res = run_aeba(net, adv, machine, coins, rounds);
-  Digest d;
-  for (std::size_t i = 0; i < res.decided.size(); ++i) {
-    d.mix(res.decided[i] ? 1 : 0);
-    d.mix_double(res.agreement[i]);
-  }
-  d.mix(res.rounds);
-  for (auto w : machine.packed_votes()) d.mix(w);
-  mix_ledger(d, net);
-  return d.h;
+TEST(ParallelParity, AebaUnreliableCoins) {
+  // E3 configuration at test scale: standalone AEBA over a sparse random
+  // graph with unreliable coins (a third of the rounds adversarial),
+  // three parallel instances, rushing malicious votes.
+  expect_parity("aeba_e3",
+                registry_scenario(ScenarioRegistry::get("e3_aeba")
+                                      .with_n(96)
+                                      .with_aeba_rounds(16)
+                                      .with_aeba_instances(3)),
+                0x6febc6403a04a061ULL);
 }
 
-std::uint64_t run_benor_e9() {
+TEST(ParallelParity, BenOr) {
   // E9 configuration: Ben-Or's local-coin baseline under a crash
   // minority, split inputs.
-  const std::size_t n = 48;
-  Network net(n, n / 6);
-  CrashAdversary adv(0.1, 13);
-  auto res = run_benor_ba(net, adv, random_inputs(n, 9), 10, 200);
-  Digest d;
-  d.mix(res.decided_bit ? 1 : 0);
-  d.mix(res.all_good_agree ? 1 : 0);
-  d.mix(res.validity ? 1 : 0);
-  d.mix(res.rounds);
-  d.mix_double(res.agreement_fraction);
-  mix_ledger(d, net);
-  return d.h;
+  expect_parity("benor_e9",
+                registry_scenario(ScenarioRegistry::get("e9_benor_small")),
+                0x77de7115cdb0ef05ULL);
 }
 
-std::uint64_t run_a2e_e4() {
-  // E4 configuration: A2E under request flooding with wrong answers from
-  // a corrupt fifth.
-  const std::size_t n = 256;
-  Network net(n, n / 3);
-  FloodingA2EAdversary adv(0.2, 800, 64);
-  adv.on_start(net);
-  Rng pick(900);
-  std::vector<std::uint64_t> beliefs(n, 0);
-  for (auto p : pick.sample_without_replacement(n, (3 * n) / 4))
-    beliefs[p] = 1;
-  AlmostToEverywhere a2e(A2EParams::laptop_scale(n), 1000);
-  auto res = a2e.run(net, adv, beliefs, 1,
-                     [](std::size_t loop, ProcId) {
-                       std::uint64_t s = 1100 + loop * 1000003ULL;
-                       return splitmix64(s);
-                     });
-  Digest d;
-  for (auto m : res.message) d.mix(m);
-  for (bool b : res.decided) d.mix(b ? 1 : 0);
-  d.mix(res.agree_count);
-  d.mix(res.wrong_count);
-  d.mix(res.rounds);
-  mix_ledger(d, net);
-  return d.h;
+TEST(ParallelParity, AlmostToEverywhere) {
+  // E4 configuration at test scale: A2E under request flooding with
+  // wrong answers from a corrupt fifth.
+  expect_parity("a2e_e4",
+                registry_scenario(ScenarioRegistry::get("e4_a2e")
+                                      .with_n(256)),
+                0xe5a72b55990077d1ULL);
 }
 
-std::uint64_t run_universe_e13() {
-  // E13 configuration: tournament-fuelled committee sampling.
-  const std::size_t n = 64;
-  Network net(n, n / 3);
-  StaticMaliciousAdversary adv(0.15, 21);
-  auto params = ProtocolParams::laptop_scale(n);
-  params.coin_words = 3;
-  UniverseReduction reduction(params, 8, 31);
-  auto res = reduction.run(net, adv);
-  Digest d;
-  for (auto p : res.committee) d.mix(p);
-  d.mix_double(res.view_agreement);
-  d.mix_double(res.good_fraction_at_sampling);
-  d.mix(res.ae.decided_bit ? 1 : 0);
-  d.mix(res.ae.rounds);
-  mix_ledger(d, net);
-  return d.h;
+TEST(ParallelParity, UniverseReduction) {
+  // E13 configuration at test scale: tournament-fuelled committee
+  // sampling.
+  expect_parity("universe_e13",
+                registry_scenario(
+                    ScenarioRegistry::get("e13_universe_small")),
+                0x83ddc423281dc9c8ULL);
 }
+
+// ------------------------------------------ harness-level scenarios --
 
 std::uint64_t run_share_flow_e8() {
   // E8 configuration: the secret-sharing path in isolation, share-heavy —
@@ -230,7 +143,7 @@ std::uint64_t run_share_flow_e8() {
   // optimistic-restart path); the silent style forces below-threshold
   // groups and insufficient leaf exchanges. Every leaf view word, member
   // view word, and ledger row feeds the digest.
-  Digest d;
+  RunDigest d;
   for (int style = 0; style < 2; ++style) {
     const std::size_t n = 64;
     ProtocolParams params = ProtocolParams::laptop_scale(n);
@@ -289,30 +202,9 @@ std::uint64_t run_share_flow_e8() {
   return d.h;
 }
 
-// ------------------------------------------------------------ the suite --
-
-TEST(ParallelParity, Quickstart) { expect_parity("quickstart", run_quickstart); }
-
-TEST(ParallelParity, RandomnessBeacon) {
-  expect_parity("randomness_beacon", run_randomness_beacon);
-}
-
-TEST(ParallelParity, AebaUnreliableCoins) {
-  expect_parity("aeba_e3", run_aeba_e3);
-}
-
-TEST(ParallelParity, BenOr) { expect_parity("benor_e9", run_benor_e9); }
-
-TEST(ParallelParity, AlmostToEverywhere) {
-  expect_parity("a2e_e4", run_a2e_e4);
-}
-
-TEST(ParallelParity, UniverseReduction) {
-  expect_parity("universe_e13", run_universe_e13);
-}
-
 TEST(ParallelParity, ShareFlowSecretSharing) {
-  expect_parity("share_flow_e8", run_share_flow_e8);
+  expect_parity("share_flow_e8", run_share_flow_e8,
+                0xa5f99e7d1d70c262ULL);
 }
 
 TEST(ParallelParity, NetworkDeliveryMixedTags) {
@@ -323,7 +215,7 @@ TEST(ParallelParity, NetworkDeliveryMixedTags) {
     const std::size_t n = 512;
     Network net(n, n / 3);
     Rng rng(77);
-    Digest d;
+    RunDigest d;
     for (int round = 0; round < 6; ++round) {
       const std::size_t sends = 4096;
       for (std::size_t i = 0; i < sends; ++i) {
@@ -347,7 +239,7 @@ TEST(ParallelParity, NetworkDeliveryMixedTags) {
     mix_ledger(d, net);
     return d.h;
   };
-  expect_parity("network_mixed_tags", scenario);
+  expect_parity("network_mixed_tags", scenario, 0x3be79e5fc38f109dULL);
 }
 
 }  // namespace

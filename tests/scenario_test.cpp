@@ -1,0 +1,157 @@
+// The scenario layer's own contract tests (sim/scenario.h, sim/report.h,
+// sim/protocol.h):
+//
+//  * spec round-trip — every registry spec serializes to key=value and
+//    parses back identical (the `ba_run --describe` / `--set` grammar);
+//  * golden RunReport JSON — the quickstart and randomness_beacon
+//    scenarios at fixed seed must emit byte-identical JSON (schema and
+//    values) to the committed files under tests/golden/. Regenerate with
+//      ba_run --scenario <name> --set n=64 --json --no-timing
+//    after a *deliberate* protocol or schema change;
+//  * report semantics — fingerprint invariance vs the run detail,
+//    stable double formatting, unknown-key rejection.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "sim/protocol.h"
+#include "sim/report.h"
+#include "sim/scenario.h"
+
+namespace ba {
+namespace {
+
+using sim::RunReport;
+using sim::ScenarioRegistry;
+using sim::ScenarioSpec;
+
+std::string read_golden(const std::string& name) {
+  const std::string path =
+      std::string(BA_REPO_DIR) + "/tests/golden/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string report_json(const RunReport& report) {
+  std::ostringstream os;
+  report.write_json(os, /*include_timing=*/false);
+  os << '\n';
+  return os.str();
+}
+
+TEST(ScenarioSpec, RoundTripsThroughKvForEveryRegistryEntry) {
+  const auto& all = ScenarioRegistry::all();
+  ASSERT_FALSE(all.empty());
+  for (const ScenarioSpec& spec : all) {
+    const ScenarioSpec reparsed = ScenarioSpec::from_kv(spec.to_kv());
+    EXPECT_EQ(spec, reparsed) << "spec " << spec.name
+                              << " does not round-trip through key=value";
+  }
+}
+
+TEST(ScenarioSpec, RegistryNamesAreUniqueAndFindable) {
+  const auto names = ScenarioRegistry::names(/*include_heavy=*/true);
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  for (const auto& name : names)
+    EXPECT_NE(ScenarioRegistry::find(name), nullptr);
+  EXPECT_EQ(ScenarioRegistry::find("no_such_scenario"), nullptr);
+  // The smoke list excludes heavy configs; the full list contains them.
+  const auto smoke = ScenarioRegistry::names(false);
+  EXPECT_LT(smoke.size(), names.size());
+  for (const auto& name : smoke)
+    EXPECT_FALSE(ScenarioRegistry::get(name).heavy);
+}
+
+TEST(ScenarioSpec, ApplyRejectsUnknownKeysAndBadBooleans) {
+  ScenarioSpec spec = ScenarioRegistry::get("quickstart");
+  EXPECT_THROW(spec.apply("no_such_key", "1"), std::logic_error);
+  EXPECT_THROW(spec.apply("release_sequence", "maybe"), std::logic_error);
+  spec.apply("n", "64");
+  EXPECT_EQ(spec.n, 64u);
+  spec.apply("adversary", "crash");
+  EXPECT_EQ(spec.adversary, sim::AdversaryKind::kCrash);
+}
+
+TEST(ScenarioSpec, BuilderOverridesRoundTrip) {
+  // A builder-derived spec (the parity suite's derivation idiom) still
+  // round-trips, and the fluent overrides land in the serialized form.
+  const ScenarioSpec spec = ScenarioRegistry::get("e3_aeba")
+                                .with_n(96)
+                                .with_aeba_rounds(16)
+                                .with_aeba_instances(3);
+  const ScenarioSpec reparsed = ScenarioSpec::from_kv(spec.to_kv());
+  EXPECT_EQ(spec, reparsed);
+  EXPECT_EQ(reparsed.n, 96u);
+  EXPECT_EQ(reparsed.aeba_rounds, 16u);
+  EXPECT_EQ(reparsed.aeba_instances, 3u);
+}
+
+// The golden runs pin spec.workers = 1 so the report's `workers` field
+// is environment-independent (the fingerprint is worker-invariant by the
+// parity contract; the worker *count* is honest reporting and would
+// otherwise track BA_THREADS).
+TEST(RunReportGolden, QuickstartJsonIsByteStable) {
+  const RunReport report = sim::run_scenario(
+      ScenarioRegistry::get("quickstart").with_n(64).with_workers(1));
+  EXPECT_EQ(report_json(report), read_golden("quickstart_n64.json"));
+}
+
+TEST(RunReportGolden, RandomnessBeaconJsonIsByteStable) {
+  const RunReport report =
+      sim::run_scenario(ScenarioRegistry::get("randomness_beacon")
+                            .with_n(64)
+                            .with_workers(1));
+  EXPECT_EQ(report_json(report), read_golden("randomness_beacon_n64.json"));
+}
+
+TEST(RunReport, TimingFieldOnlyInTimedForm) {
+  const RunReport report = sim::run_scenario(
+      ScenarioRegistry::get("e9_benor_small"));
+  std::ostringstream timed, stable;
+  report.write_json(timed, true);
+  report.write_json(stable, false);
+  EXPECT_NE(timed.str().find("\"wall_ms\":"), std::string::npos);
+  EXPECT_EQ(stable.str().find("\"wall_ms\":"), std::string::npos);
+  // The stable form is a prefix relation: identical except the timing.
+  EXPECT_EQ(timed.str().substr(0, stable.str().size() - 1),
+            stable.str().substr(0, stable.str().size() - 1));
+}
+
+TEST(RunReport, DetailCarriesTheFullResult) {
+  const RunReport report =
+      sim::run_scenario(ScenarioRegistry::get("e13_universe_small"));
+  ASSERT_TRUE(report.detail != nullptr);
+  ASSERT_TRUE(report.detail->universe.has_value());
+  EXPECT_EQ(report.detail->universe->committee.size(), 8u);
+  EXPECT_EQ(report.detail->corrupt_mask.size(), report.n);
+}
+
+TEST(RunReport, JsonDoubleRoundTrips) {
+  for (double v : {0.0, 0.1, 1.0 / 3.0, 0.95, 1e-17, 123456.789}) {
+    const std::string s = sim::json_double(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+}
+
+TEST(RunScenario, SeedOffsetShiftsEverySeedUniformly) {
+  // Offset k must equal baking k into the seeds (the benches' `base + s`
+  // sweep contract).
+  const ScenarioSpec base = ScenarioRegistry::get("e9_benor_small");
+  const RunReport shifted = sim::run_scenario(base, 5);
+  ScenarioSpec baked = base;
+  baked.adversary_seed += 5;
+  baked.input_seed += 5;
+  baked.protocol_seed += 5;
+  const RunReport direct = sim::run_scenario(baked, 0);
+  EXPECT_EQ(shifted.fingerprint, direct.fingerprint);
+}
+
+}  // namespace
+}  // namespace ba

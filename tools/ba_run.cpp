@@ -1,0 +1,171 @@
+// ba_run — the scenario CLI: one binary that executes any registered
+// scenario (sim/scenario.h) and emits the unified RunReport.
+//
+//   ba_run --list                 # registered scenario names (smoke set)
+//   ba_run --list --heavy         # include heavy configs (e1_n16384)
+//   ba_run --describe <name>      # full spec as key=value lines
+//   ba_run --scenario e3_aeba --seeds 5 --workers 8 --json
+//   ba_run --scenario quickstart --set n=1024 --set corrupt_fraction=0.2
+//   ba_run --all [--json]         # sweep every non-heavy scenario
+//
+// `--seeds N` runs seed offsets 0..N-1 (the benches' `base + s` sweep).
+// `--json` emits one JSON object per run (NDJSON); the default is a
+// table. `--no-timing` omits wall_ms for byte-stable output (the golden
+// form). Environment defaults: BA_SEEDS, BA_WORKERS, BA_JSON=1,
+// BA_SCENARIO; BA_THREADS still controls the ambient pool size.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/pool.h"
+#include "common/table.h"
+#include "sim/protocol.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using ba::sim::RunReport;
+using ba::sim::ScenarioRegistry;
+using ba::sim::ScenarioSpec;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --list [--heavy]\n"
+      "       %s --describe <scenario>\n"
+      "       %s (--scenario <name> | --all) [--seeds N] [--workers K]\n"
+      "          [--set key=value ...] [--json] [--no-timing]\n",
+      argv0, argv0, argv0);
+  return 2;
+}
+
+void print_table(const std::vector<RunReport>& reports) {
+  ba::Table t("scenario runs");
+  t.header({"scenario", "protocol", "n", "seed", "workers", "decided",
+            "validity", "agree_frac", "rounds", "max_bits/good",
+            "total_bits/good", "wall_ms"});
+  for (const auto& r : reports) {
+    t.row({r.scenario, std::string(ba::sim::to_string(r.protocol)),
+           static_cast<std::int64_t>(r.n),
+           static_cast<std::int64_t>(r.seed_offset),
+           static_cast<std::int64_t>(r.workers),
+           static_cast<std::int64_t>(r.decided_bit),
+           static_cast<std::int64_t>(r.validity), r.agreement_fraction,
+           static_cast<std::int64_t>(r.rounds),
+           static_cast<std::int64_t>(r.max_bits_good),
+           static_cast<std::int64_t>(r.total_bits_good), r.wall_ms});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false, heavy = false, all = false, json = false;
+  bool timing = true;
+  std::string scenario_name, describe_name;
+  std::size_t seeds = 1, workers = 0;
+  std::vector<std::string> overrides;
+
+  if (const char* v = std::getenv("BA_SCENARIO")) scenario_name = v;
+  if (const char* v = std::getenv("BA_SEEDS")) seeds = std::strtoul(v, nullptr, 10);
+  if (const char* v = std::getenv("BA_WORKERS")) workers = std::strtoul(v, nullptr, 10);
+  if (const char* v = std::getenv("BA_JSON")) json = v[0] == '1';
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") list = true;
+    else if (arg == "--heavy") heavy = true;
+    else if (arg == "--all") all = true;
+    else if (arg == "--json") json = true;
+    else if (arg == "--no-timing") timing = false;
+    else if (arg == "--scenario") scenario_name = next();
+    else if (arg == "--describe") describe_name = next();
+    else if (arg == "--seeds") seeds = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--workers") workers = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--set") overrides.emplace_back(next());
+    else return usage(argv[0]);
+  }
+
+  if (list) {
+    for (const auto& name : ScenarioRegistry::names(heavy))
+      std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  if (!describe_name.empty()) {
+    const ScenarioSpec* spec = ScenarioRegistry::find(describe_name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown scenario: %s\n", describe_name.c_str());
+      return 1;
+    }
+    for (const auto& [key, value] : spec->to_kv())
+      std::printf("%s=%s\n", key.c_str(), value.c_str());
+    return 0;
+  }
+  if (scenario_name.empty() && !all) return usage(argv[0]);
+  if (seeds == 0) seeds = 1;
+  if (workers > 0) ba::Pool::set_threads(workers);
+
+  std::vector<ScenarioSpec> specs;
+  if (all) {
+    for (const auto& name : ScenarioRegistry::names(heavy))
+      specs.push_back(ScenarioRegistry::get(name));
+  } else {
+    const ScenarioSpec* spec = ScenarioRegistry::find(scenario_name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown scenario: %s (try --list)\n",
+                   scenario_name.c_str());
+      return 1;
+    }
+    specs.push_back(*spec);
+  }
+  for (auto& spec : specs) {
+    for (const auto& kv : overrides) {
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--set expects key=value, got: %s\n",
+                     kv.c_str());
+        return 2;
+      }
+      try {
+        spec.apply(kv.substr(0, eq), kv.substr(eq + 1));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bad --set %s: %s\n", kv.c_str(), e.what());
+        return 2;
+      }
+    }
+  }
+
+  std::vector<RunReport> reports;  // table mode only — a long --json
+                                   // sweep should not retain run details
+  for (const auto& spec : specs) {
+    for (std::size_t s = 0; s < seeds; ++s) {
+      RunReport report;
+      try {
+        report = ba::sim::run_scenario(spec, s);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "scenario %s failed: %s\n", spec.name.c_str(),
+                     e.what());
+        return 1;
+      }
+      if (json) {
+        report.write_json(std::cout, timing);
+        std::cout << '\n';
+      } else {
+        reports.push_back(std::move(report));
+      }
+    }
+  }
+  if (!json) print_table(reports);
+  return 0;
+}
