@@ -26,6 +26,7 @@
 #include "crypto/berlekamp_welch.h"
 #include "crypto/gao.h"
 #include "crypto/scheme_cache.h"
+#include "common/simd.h"
 #include "crypto/shamir.h"
 #include "net/network.h"
 #include "sampler/sampler.h"
@@ -589,6 +590,132 @@ Comparison compare_share_flow_parallel() {
   return c;
 }
 
+// ---------------------------------------------------------------------
+// Scalar-vs-SIMD kernel comparisons (common/simd.h). "legacy" is the
+// always-compiled simd::scalar:: reference (the seed's deferred-128-bit
+// scheme); "current" is the dispatched backend. On a BA_SIMD=OFF build
+// the two are the same function and the ratio is 1.0 by construction —
+// the committed ledger is produced on a BA_SIMD=ON build, and the params
+// string records the backend so a scalar regeneration is recognizable.
+
+std::vector<Fp> random_words(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Fp> v(n);
+  for (auto& w : v) w = Fp(rng.next());
+  return v;
+}
+
+Comparison compare_simd_dealing_matmul() {
+  // The cached Vandermonde dealing shape: four share rows sharing one
+  // coefficient column (scheme_cache.cpp's dot4 blocking), n = 64 words.
+  constexpr std::size_t kWords = 64;
+  const auto a = random_words(kWords, 7001);
+  const auto b0 = random_words(kWords, 7002);
+  const auto b1 = random_words(kWords, 7003);
+  const auto b2 = random_words(kWords, 7004);
+  const auto b3 = random_words(kWords, 7005);
+  const std::uint64_t init[4] = {1, 2, 3, 4};
+  std::uint64_t ref[4], cur[4];
+  simd::scalar::dot4_mod_p(a.data(), b0.data(), b1.data(), b2.data(),
+                           b3.data(), kWords, init, ref);
+  simd::dot4_mod_p(a.data(), b0.data(), b1.data(), b2.data(), b3.data(),
+                   kWords, init, cur);
+  for (int k = 0; k < 4; ++k)
+    BA_REQUIRE(ref[k] == cur[k], "scalar and SIMD dot4 disagree");
+  Comparison c;
+  c.name = "simd_dealing_matmul";
+  char params[96];
+  std::snprintf(params, sizeof(params), "dot4 words=64 backend=%s",
+                simd::backend());
+  c.params = params;
+  std::uint64_t out[4];
+  c.legacy_ns = time_ns_per_op([&] {
+    simd::scalar::dot4_mod_p(a.data(), b0.data(), b1.data(), b2.data(),
+                             b3.data(), kWords, init, out);
+    benchmark::DoNotOptimize(out);
+  });
+  c.current_ns = time_ns_per_op([&] {
+    simd::dot4_mod_p(a.data(), b0.data(), b1.data(), b2.data(), b3.data(),
+                     kWords, init, out);
+    benchmark::DoNotOptimize(out);
+  });
+  return c;
+}
+
+Comparison compare_simd_barycentric_dot() {
+  // The barycentric row-evaluation shape (field.cpp eval_row): one long
+  // weight-times-value dot per evaluation point.
+  constexpr std::size_t kN = 256;
+  const auto a = random_words(kN, 7101);
+  const auto b = random_words(kN, 7102);
+  BA_REQUIRE(simd::scalar::dot_mod_p(a.data(), b.data(), kN, 5) ==
+                 simd::dot_mod_p(a.data(), b.data(), kN, 5),
+             "scalar and SIMD dot disagree");
+  Comparison c;
+  c.name = "simd_barycentric_dot";
+  char params[96];
+  std::snprintf(params, sizeof(params), "dot n=256 backend=%s",
+                simd::backend());
+  c.params = params;
+  c.legacy_ns = time_ns_per_op([&] {
+    auto r = simd::scalar::dot_mod_p(a.data(), b.data(), kN, 5);
+    benchmark::DoNotOptimize(r);
+  });
+  c.current_ns = time_ns_per_op([&] {
+    auto r = simd::dot_mod_p(a.data(), b.data(), kN, 5);
+    benchmark::DoNotOptimize(r);
+  });
+  return c;
+}
+
+Comparison compare_simd_gao_euclid() {
+  // The Gao decoder's elementwise shapes chained as the Euclid iteration
+  // does: one fnma polynomial update plus one lane-parallel Horner
+  // verification step over m = 48 coefficients/points.
+  constexpr std::size_t kM = 48;
+  const auto in = random_words(kM, 7201);
+  const auto xs = random_words(kM, 7202);
+  const auto base = random_words(kM, 7203);
+  const Fp cf(123456789);
+  auto run = [&](auto&& fnma, auto&& horner, std::vector<Fp>& buf) {
+    buf = base;
+    fnma(buf.data(), in.data(), cf, kM);
+    horner(buf.data(), xs.data(), cf, kM);
+  };
+  std::vector<Fp> ref, cur;
+  run(simd::scalar::fnma_mod_p, simd::scalar::horner_step_mod_p, ref);
+  run([](Fp* o, const Fp* i, Fp c2, std::size_t n) {
+        simd::fnma_mod_p(o, i, c2, n);
+      },
+      [](Fp* a2, const Fp* x, Fp c2, std::size_t n) {
+        simd::horner_step_mod_p(a2, x, c2, n);
+      },
+      cur);
+  BA_REQUIRE(ref == cur, "scalar and SIMD Euclid shapes disagree");
+  Comparison c;
+  c.name = "simd_gao_euclid";
+  char params[96];
+  std::snprintf(params, sizeof(params), "fnma+horner m=48 backend=%s",
+                simd::backend());
+  c.params = params;
+  std::vector<Fp> buf;
+  c.legacy_ns = time_ns_per_op([&] {
+    run(simd::scalar::fnma_mod_p, simd::scalar::horner_step_mod_p, buf);
+    benchmark::DoNotOptimize(buf.data());
+  });
+  c.current_ns = time_ns_per_op([&] {
+    run([](Fp* o, const Fp* i, Fp c2, std::size_t n) {
+          simd::fnma_mod_p(o, i, c2, n);
+        },
+        [](Fp* a2, const Fp* x, Fp c2, std::size_t n) {
+          simd::horner_step_mod_p(a2, x, c2, n);
+        },
+        buf);
+    benchmark::DoNotOptimize(buf.data());
+  });
+  return c;
+}
+
 Comparison compare_payload_churn() {
   // Construct + move + destroy 1-word payloads, the dominant message
   // shape. The seed heap-allocated a std::vector per payload.
@@ -629,11 +756,32 @@ Comparison compare_payload_churn() {
 
 }  // namespace
 
+/// Copy heavy-run records (ba_run --json NDJSON, e.g. the e1_n65536
+/// proof run) into the ledger's "heavy_runs" section. The bench binary
+/// cannot afford to execute them itself, so regeneration is two steps:
+/// `ba_run --scenario e1_n65536 --json > heavy.jsonl`, then
+/// `BA_BENCH_HEAVY_JSON=heavy.jsonl ./bench_micro`. Lines pass through
+/// verbatim — ba_run's output is already one stable JSON object per line.
+std::vector<std::string> read_heavy_runs() {
+  std::vector<std::string> lines;
+  const char* path = std::getenv("BA_BENCH_HEAVY_JSON");
+  if (path == nullptr) return lines;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read BA_BENCH_HEAVY_JSON=%s\n", path);
+    return lines;
+  }
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty() && line.front() == '{') lines.push_back(line);
+  return lines;
+}
+
 int write_comparison_json() {
   // Pin the pool to one worker so the pre-existing comparisons keep
   // measuring algorithmic wins against their committed single-threaded
-  // baselines; only compare_parallel_round_engine (which manages the
-  // worker count itself, and runs last) measures fan-out.
+  // baselines; only the pool-engine comparisons (which manage the worker
+  // count themselves, and run last) measure fan-out.
   Pool::set_threads(1);
   std::vector<Comparison> comps;
   comps.push_back(compare_shamir_reconstruct());
@@ -643,9 +791,24 @@ int write_comparison_json() {
   comps.push_back(compare_payload_churn());
   comps.push_back(compare_tagged_inbox_scan());
   comps.push_back(compare_share_fanout_arena());
-  comps.push_back(compare_parallel_round_engine());
-  comps.push_back(compare_share_flow_parallel());
+  comps.push_back(compare_simd_dealing_matmul());
+  comps.push_back(compare_simd_barycentric_dot());
+  comps.push_back(compare_simd_gao_euclid());
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  if (host_cores >= 2) {
+    // Serial-engine-vs-pool comparisons are meaningless on a single-core
+    // host (~1.0x by construction): skip writing them entirely so the CI
+    // ledger diff never inherits a ~1x baseline from a 1-core machine.
+    comps.push_back(compare_parallel_round_engine());
+    comps.push_back(compare_share_flow_parallel());
+  } else {
+    std::printf(
+        "host_cores=%u < 2: skipping parallel_round_engine / "
+        "share_flow_parallel (pool-vs-serial ratio is meaningless)\n",
+        host_cores);
+  }
   Pool::set_threads(0);  // restore the environment default
+  const auto heavy = read_heavy_runs();
 
   const char* path_env = std::getenv("BA_BENCH_JSON");
   const std::string path = path_env != nullptr ? path_env : "BENCH_micro.json";
@@ -656,6 +819,8 @@ int write_comparison_json() {
   }
   out << "{\n  \"schema\": \"ba.bench_micro.v1\",\n"
       << "  \"smoke\": " << (smoke_mode() ? "true" : "false") << ",\n"
+      << "  \"host_cores\": " << host_cores << ",\n"
+      << "  \"simd_backend\": \"" << simd::backend() << "\",\n"
       << "  \"comparisons\": [\n";
   for (std::size_t i = 0; i < comps.size(); ++i) {
     const auto& c = comps[i];
@@ -669,6 +834,9 @@ int write_comparison_json() {
                   i + 1 < comps.size() ? "," : "");
     out << buf;
   }
+  out << "  ],\n  \"heavy_runs\": [\n";
+  for (std::size_t i = 0; i < heavy.size(); ++i)
+    out << "    " << heavy[i] << (i + 1 < heavy.size() ? "," : "") << "\n";
   out << "  ]\n}\n";
   out.close();
   for (const auto& c : comps) {

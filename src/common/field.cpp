@@ -1,5 +1,7 @@
 #include "common/field.h"
 
+#include "common/simd.h"
+
 namespace ba {
 
 Fp Fp::pow(std::uint64_t e) const {
@@ -64,7 +66,7 @@ std::optional<std::vector<Fp>> poly_divide_exact(std::vector<Fp> num,
     const Fp coef = num[qi + dd - 1] * lead_inv;
     quot[qi] = coef;
     if (coef.is_zero()) continue;
-    for (std::size_t j = 0; j < dd; ++j) num[qi + j] -= coef * den[j];
+    simd::fnma_mod_p(&num[qi], den.data(), coef, dd);
   }
   for (const Fp& c : num)
     if (!c.is_zero()) return std::nullopt;  // non-zero remainder
@@ -189,9 +191,9 @@ std::vector<Fp> BarycentricInterpolator::row_at(Fp z) const {
 Fp BarycentricInterpolator::eval_row(const std::vector<Fp>& row,
                                      const std::vector<Fp>& ys) {
   BA_REQUIRE(row.size() == ys.size(), "row/value size mismatch");
-  Fp acc(0);
-  for (std::size_t i = 0; i < row.size(); ++i) acc += row[i] * ys[i];
-  return acc;
+  // Deferred-reduction dot kernel (common/simd.h): exact canonical mod-p
+  // result, byte-identical to the per-term Fp operator chain.
+  return Fp(simd::dot_mod_p(row.data(), ys.data(), row.size(), 0));
 }
 
 }  // namespace ba

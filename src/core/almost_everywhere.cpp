@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "aeba/aeba_with_coins.h"
+#include "common/arena.h"
 #include "common/pool.h"
 #include "election/feige.h"
 
@@ -19,31 +20,34 @@ void advance_rounds(Network& net, std::size_t count) {
 /// bit-instance (c, b) is bit b of word c.
 class BufferCoins : public CoinSource {
  public:
-  BufferCoins(const std::vector<std::uint64_t>* buffer, std::size_t r,
-              std::size_t bits)
+  BufferCoins(const std::uint64_t* buffer, std::size_t r, std::size_t bits)
       : buffer_(buffer), r_(r), bits_(bits) {}
   bool coin(std::size_t pos, std::size_t instance, std::uint64_t) override {
     const std::size_t c = instance / bits_;
     const std::size_t b = instance % bits_;
-    return (((*buffer_)[pos * r_ + c]) >> b) & 1;
+    return ((buffer_[pos * r_ + c]) >> b) & 1;
   }
   /// Pure table lookup over words exposed before the tally starts:
   /// order-independent, so the tally may fan out across workers.
   bool concurrent_safe() const override { return true; }
 
  private:
-  const std::vector<std::uint64_t>* buffer_;
+  const std::uint64_t* buffer_;
   std::size_t r_, bits_;
 };
 
-/// One node's election in flight.
+/// One node's election in flight. The coin buffer is cold per-level
+/// state carved from the run's pooled epoch arena (common/arena.h) —
+/// the epoch closes with the level, so one level's peak never pins
+/// memory for the rest of the run and steady-state levels allocate
+/// nothing.
 struct NodeElection {
   std::size_t node_idx = 0;
   std::vector<std::uint32_t> candidates;  // array ids, child order
   ElectionParams eparams;
   std::unique_ptr<RegularGraph> graph;
   std::unique_ptr<AebaMachine> machine;
-  std::vector<std::uint64_t> coin_buffer;   // member-major, r words each
+  std::uint64_t* coin_buffer = nullptr;   // member-major, r words each
   std::unique_ptr<BufferCoins> coins;
   std::vector<std::vector<std::uint32_t>> member_winners;  // per member pos
   std::vector<std::uint32_t> truth_winners;                // good-majority
@@ -127,9 +131,15 @@ AeResult AlmostEverywhereBA::run(Network& net, Adversary& adversary,
   AeResult result;
   result.levels.reserve(num_levels);
 
+  // Pooled storage for cold per-round election state (coin buffers):
+  // slabs persist across levels, contents are carved fresh per level
+  // epoch.
+  PodArena<std::uint64_t> cold_arena;
+
   // ---- Step 2: elections on levels 2 .. L-1.
   for (std::size_t lvl = 2; lvl + 1 <= num_levels; ++lvl) {
     const std::size_t node_count = tree_.nodes_at(lvl);
+    PodArena<std::uint64_t>::Epoch cold_epoch(cold_arena);
     BA_ENSURE(cand_at_node.size() == node_count, "candidate lists lost");
     AeLevelStats stats;
     stats.level = lvl;
@@ -144,16 +154,23 @@ AeResult AlmostEverywhereBA::run(Network& net, Adversary& adversary,
       elections.push_back(std::move(e));
     }
 
-    // Phase A: expose every candidate's bin-choice word; one exposure
-    // batch for the whole level.
+    // Phase A: expose every candidate's bin-choice word — the whole
+    // level goes through one expose_batch call (one arena epoch, one
+    // decoder pin, level-wide recombination fan-outs) instead of one
+    // sendDown + sendOpen per candidate.
     std::vector<std::vector<MemberViews>> bin_views(node_count);
-    for (auto& e : elections) {
-      bin_views[e.node_idx].reserve(e.candidates.size());
-      for (auto cid : e.candidates) {
-        ArrayState& a = arrays[cid];
-        LeafViews lv =
-            flow.send_down(a, layout_.bin_word(lvl), layout_.bin_word(lvl) + 1);
-        bin_views[e.node_idx].push_back(flow.send_open(lvl, e.node_idx, lv));
+    {
+      std::vector<ShareFlow::ExposeJob> jobs;
+      for (const auto& e : elections)
+        for (auto cid : e.candidates)
+          jobs.push_back({&arrays[cid], layout_.bin_word(lvl),
+                          layout_.bin_word(lvl) + 1});
+      std::vector<ShareFlow::Exposure> exps = flow.expose_batch(jobs);
+      std::size_t xi = 0;
+      for (const auto& e : elections) {
+        bin_views[e.node_idx].reserve(e.candidates.size());
+        for (std::size_t ci = 0; ci < e.candidates.size(); ++ci)
+          bin_views[e.node_idx].push_back(std::move(exps[xi++].opened));
       }
     }
     advance_rounds(net, ShareFlow::exposure_rounds(lvl));
@@ -163,6 +180,14 @@ AeResult AlmostEverywhereBA::run(Network& net, Adversary& adversary,
     // Elections are node-local state with per-node forked Rng streams, so
     // machine construction fans out across the pool.
     const std::size_t k = tree_.node(lvl, 0).members.size();
+    // Coin buffers are carved driver-side (the arena is never touched
+    // from a pool body); the workers below only write through them.
+    for (auto& e : elections) {
+      const std::size_t r = e.candidates.size();
+      if (r <= params_.w) continue;  // trivial: no machine, no coins
+      e.coin_buffer = cold_arena.alloc(k * r);
+      std::fill_n(e.coin_buffer, k * r, 0);
+    }
     Pool::for_each(elections.size(), [&](std::size_t ei, std::size_t) {
       NodeElection& e = elections[ei];
       const std::size_t r = e.candidates.size();
@@ -178,8 +203,7 @@ AeResult AlmostEverywhereBA::run(Network& net, Adversary& adversary,
       e.machine = std::make_unique<AebaMachine>(
           ctx, tree_.node(lvl, e.node_idx).members, e.graph.get(),
           params_.aeba, r * bits);
-      e.coin_buffer.assign(k * r, 0);
-      e.coins = std::make_unique<BufferCoins>(&e.coin_buffer, r, bits);
+      e.coins = std::make_unique<BufferCoins>(e.coin_buffer, r, bits);
       for (std::size_t pos = 0; pos < k; ++pos) {
         for (std::size_t c = 0; c < r; ++c) {
           const std::uint64_t word =
@@ -196,17 +220,27 @@ AeResult AlmostEverywhereBA::run(Network& net, Adversary& adversary,
 
     for (std::size_t j = 0; j < max_rounds; ++j) {
       // Expose round-j coins: candidate j's coin words (Definition 4: the
-      // j-th block supplies this round's coins for every instance).
-      for (auto& e : elections) {
-        if (e.machine == nullptr || j >= e.candidates.size()) continue;
-        const std::size_t r = e.candidates.size();
-        ArrayState& a = arrays[e.candidates[j]];
-        LeafViews lv = flow.send_down(a, layout_.coin_word(lvl, 0),
-                                      layout_.coin_word(lvl, 0) + r);
-        MemberViews mv = flow.send_open(lvl, e.node_idx, lv);
-        for (std::size_t pos = 0; pos < k; ++pos)
-          for (std::size_t c = 0; c < r; ++c)
-            e.coin_buffer[pos * r + c] = mv.at(pos, c).value();
+      // j-th block supplies this round's coins for every instance) —
+      // every active election's exposure rides one expose_batch call.
+      {
+        std::vector<ShareFlow::ExposeJob> jobs;
+        std::vector<NodeElection*> active;
+        for (auto& e : elections) {
+          if (e.machine == nullptr || j >= e.candidates.size()) continue;
+          const std::size_t r = e.candidates.size();
+          jobs.push_back({&arrays[e.candidates[j]], layout_.coin_word(lvl, 0),
+                          layout_.coin_word(lvl, 0) + r});
+          active.push_back(&e);
+        }
+        std::vector<ShareFlow::Exposure> exps = flow.expose_batch(jobs);
+        for (std::size_t xi = 0; xi < active.size(); ++xi) {
+          NodeElection& e = *active[xi];
+          const std::size_t r = e.candidates.size();
+          const MemberViews& mv = exps[xi].opened;
+          for (std::size_t pos = 0; pos < k; ++pos)
+            for (std::size_t c = 0; c < r; ++c)
+              e.coin_buffer[pos * r + c] = mv.at(pos, c).value();
+        }
       }
       advance_rounds(net, ShareFlow::exposure_rounds(lvl));
 
@@ -382,8 +416,9 @@ AeResult AlmostEverywhereBA::run(Network& net, Adversary& adversary,
   for (std::size_t pos = 0; pos < n; ++pos)
     root_machine.set_input(pos, 0, inputs[root.members[pos]] != 0);
 
-  std::vector<std::uint64_t> root_coin_buffer(n, 0);
-  BufferCoins root_coins(&root_coin_buffer, 1, 1);
+  std::uint64_t* root_coin_buffer = cold_arena.alloc(n);
+  std::fill_n(root_coin_buffer, n, 0);
+  BufferCoins root_coins(root_coin_buffer, 1, 1);
   const std::size_t root_rounds =
       root_cands.empty() ? 0 : ArrayLayout::kRootWords * root_cands.size();
   for (std::size_t j = 0; j < root_rounds; ++j) {
@@ -432,11 +467,16 @@ AeResult AlmostEverywhereBA::run(Network& net, Adversary& adversary,
     result.seq_word_good.assign(cw * root_cands.size(), false);
     result.seq_truth.assign(cw * root_cands.size(), 0);
     for (std::size_t t = 0; t < cw; ++t) {
+      // All root candidates' word-t exposures share one expose_batch.
+      const std::size_t word = layout_.seq_block_offset() + t;
+      std::vector<ShareFlow::ExposeJob> jobs;
+      jobs.reserve(root_cands.size());
+      for (std::size_t c = 0; c < root_cands.size(); ++c)
+        jobs.push_back({&arrays[root_cands[c]], word, word + 1});
+      std::vector<ShareFlow::Exposure> exps = flow.expose_batch(jobs);
       for (std::size_t c = 0; c < root_cands.size(); ++c) {
-        ArrayState& a = arrays[root_cands[c]];
-        const std::size_t word = layout_.seq_block_offset() + t;
-        LeafViews lv = flow.send_down(a, word, word + 1);
-        MemberViews mv = flow.send_open(num_levels, 0, lv);
+        const ArrayState& a = arrays[root_cands[c]];
+        const MemberViews& mv = exps[c].opened;
         const std::size_t idx = t * root_cands.size() + c;
         for (std::size_t pos = 0; pos < n; ++pos)
           result.seq_views[idx][root.members[pos]] = mv.at(pos, 0).value();

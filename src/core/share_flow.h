@@ -178,6 +178,34 @@ class ShareFlow {
   MemberViews send_open(std::size_t level, std::size_t node_idx,
                         const LeafViews& views);
 
+  /// One exposure in an expose_batch: array `a` exposes words [w0, w1)
+  /// down its subtree and opens them at (a->level, a->node_idx). `a`
+  /// must outlive the call.
+  struct ExposeJob {
+    const ArrayState* a = nullptr;
+    std::size_t w0 = 0;
+    std::size_t w1 = 0;
+  };
+  /// sendDown + sendOpen results of one job.
+  struct Exposure {
+    LeafViews views;
+    MemberViews opened;
+  };
+
+  /// Batched sendDown + sendOpen for a whole level of exposures (every
+  /// job at the same tree level). Byte-identical to calling send_down +
+  /// send_open job by job — same Rng draw order, same ledger totals,
+  /// same views — but the batch shares one arena epoch and one decoder
+  /// pin per chunk, and recombinations across all jobs of a level fan
+  /// out in a single pool dispatch per tree level instead of one per
+  /// array. Decode failures are the adversarial rare case: the batch
+  /// optimistically assumes none; on the first failure it keeps every
+  /// fully-clean preceding job, rewinds rng_ to the failing job's
+  /// snapshot, and replays the remainder through the serial path (the
+  /// definition of the draw order). Jobs chunk internally so a level's
+  /// batch never holds more than a bounded window of leaf work.
+  std::vector<Exposure> expose_batch(const std::vector<ExposeJob>& jobs);
+
   /// Network rounds one sendDown + sendOpen from `level` costs: level-1
   /// hops down, one leaf-exchange round, one ell-link round.
   static std::size_t exposure_rounds(std::size_t level) { return level + 1; }

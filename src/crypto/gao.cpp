@@ -1,5 +1,7 @@
 #include "crypto/gao.h"
 
+#include "common/simd.h"
+
 namespace ba {
 
 namespace {
@@ -26,8 +28,7 @@ std::vector<Fp> poly_divmod(std::vector<Fp>& num, const std::vector<Fp>& den,
     const Fp coef = num[qi + den_deg] * lead_inv;
     if (coef.is_zero()) continue;
     quot[qi] = coef;
-    for (std::size_t j = 0; j <= den_deg; ++j)
-      num[qi + j] -= coef * den[j];
+    simd::fnma_mod_p(&num[qi], den.data(), coef, den_deg + 1);
   }
   return quot;
 }
@@ -46,12 +47,14 @@ GaoContext::GaoContext(std::vector<Fp> xs) : xs_(std::move(xs)) {
       g0_[c] *= Fp(0) - xs_[i];
     }
   }
-  // Inverted Newton denominators, same sweep order as interpolate_coeffs
-  // (common/field.cpp): level k = 1..m-1, i descending; one batched
-  // inversion shared by every later interpolate_all call.
+  // Inverted Newton denominators, one batched inversion shared by every
+  // later interpolate_all call. Stored level-major with i *ascending*
+  // within each level so the level sweep reads them contiguously
+  // (batch_inverse maps each element to its exact inverse regardless of
+  // position, so the values are unchanged by the ordering).
   inv_dens_.reserve(m * (m - 1) / 2);
   for (std::size_t k = 1; k < m; ++k)
-    for (std::size_t i = m; i-- > k;) {
+    for (std::size_t i = k; i < m; ++i) {
       const Fp d = xs_[i] - xs_[i - k];
       BA_REQUIRE(!d.is_zero(), "interpolation points must be distinct");
       inv_dens_.push_back(d);
@@ -62,10 +65,18 @@ GaoContext::GaoContext(std::vector<Fp> xs) : xs_(std::move(xs)) {
 std::vector<Fp> GaoContext::interpolate_all(const std::vector<Fp>& ys) const {
   const std::size_t m = xs_.size();
   std::vector<Fp> a = ys;
+  // Each level reads the previous level's a[i] and a[i-1]: snapshot the
+  // level, then the whole sweep is one elementwise (a[i] - a[i-1]) * inv
+  // kernel (new a[i] must not be visible to the a[i+1] update, which the
+  // snapshot guarantees just like the seed's descending-i loop did).
+  std::vector<Fp> prev(m);
   std::size_t di = 0;
-  for (std::size_t k = 1; k < m; ++k)
-    for (std::size_t i = m; i-- > k;)
-      a[i] = (a[i] - a[i - 1]) * inv_dens_[di++];
+  for (std::size_t k = 1; k < m; ++k) {
+    prev = a;
+    simd::sub_mul_mod_p(&a[k], &prev[k], &prev[k - 1], &inv_dens_[di],
+                        m - k);
+    di += m - k;
+  }
   // Expand Newton form to monomial coefficients.
   std::vector<Fp> out(m, Fp(0));
   out[0] = a[m - 1];
@@ -117,8 +128,7 @@ std::optional<std::vector<Fp>> GaoContext::decode(
         v_prev.resize(std::max(v_prev.size(), quot.size() + vd + 1), Fp(0));
         for (std::size_t qi = 0; qi < quot.size(); ++qi) {
           if (quot[qi].is_zero()) continue;
-          for (std::size_t vi = 0; vi <= vd; ++vi)
-            v_prev[qi + vi] -= quot[qi] * v_cur[vi];
+          simd::fnma_mod_p(&v_prev[qi], v_cur.data(), quot[qi], vd + 1);
         }
       }
       // poly_divmod reduced r_prev in place to the remainder; rotate so
@@ -139,10 +149,14 @@ std::optional<std::vector<Fp>> GaoContext::decode(
   if (pd != kZeroPoly && pd > degree) return std::nullopt;
   if (p.size() > degree + 1) p.resize(degree + 1);
   // Final verification, identical to Berlekamp–Welch's: at most
-  // max_errors disagreements.
+  // max_errors disagreements. Horner runs point-parallel — one lane per
+  // evaluation point, one step per coefficient.
+  std::vector<Fp> evals(m, Fp(0));
+  for (std::size_t c = p.size(); c-- > 0;)
+    simd::horner_step_mod_p(evals.data(), xs_.data(), p[c], m);
   std::size_t errors = 0;
   for (std::size_t i = 0; i < m; ++i)
-    if (poly_eval(p, xs_[i]) != ys[i]) ++errors;
+    if (evals[i] != ys[i]) ++errors;
   if (errors > max_errors) return std::nullopt;
   return p;
 }

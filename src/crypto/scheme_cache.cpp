@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/simd.h"
 #include "crypto/berlekamp_welch.h"
 
 namespace ba {
@@ -78,69 +79,27 @@ void CachedScheme::deal_from_coeffs(const std::vector<Fp>& secret,
     return;
   }
   BA_REQUIRE(coeffs.size() == words * t_, "coefficient buffer wrong shape");
-  // Y = secret + V * C, blocked four words at a time with deferred
-  // reduction: raw 128-bit products accumulate unreduced (each term is
-  // < 2^122, so up to kChunk = 60 terms fit in the accumulator) and fold
-  // mod 2^61 - 1 once per chunk. Exact field arithmetic, so the shares
-  // match the per-term-reducing Horner path bit for bit — but each loaded
-  // Vandermonde entry is one multiply and two adds toward four
-  // independent accumulators, where Horner's chain serialises a full
-  // reduce per term.
-  constexpr std::size_t kChunk = 60;
-  const auto fold = [](unsigned __int128 acc) -> std::uint64_t {
-    const std::uint64_t lo = static_cast<std::uint64_t>(acc) & Fp::kP;
-    const std::uint64_t mid =
-        static_cast<std::uint64_t>(acc >> 61) & Fp::kP;
-    const std::uint64_t hi = static_cast<std::uint64_t>(acc >> 122);
-    std::uint64_t s = lo + mid + hi;  // < 3 * 2^61, fits
-    s = (s & Fp::kP) + (s >> 61);
-    if (s >= Fp::kP) s -= Fp::kP;
-    return s;
-  };
+  // Y = secret + V * C, blocked four words at a time through the
+  // deferred-reduction dot kernels (common/simd.h): raw products
+  // accumulate unreduced and fold mod 2^61 - 1 once per chunk. Exact
+  // field arithmetic, so the shares match the per-term-reducing Horner
+  // path bit for bit whichever backend is compiled in.
   for (std::size_t i = 0; i < n_; ++i) {
     const Fp* vrow = &vand_[i * t_];
     std::vector<Fp>& ys = out[i].ys;
     std::size_t w = 0;
+    std::uint64_t init[4];
+    std::uint64_t folded[4];
     for (; w + 4 <= words; w += 4) {
       const Fp* c0 = &coeffs[w * t_];
-      const Fp* c1 = c0 + t_;
-      const Fp* c2 = c1 + t_;
-      const Fp* c3 = c2 + t_;
-      unsigned __int128 a0 = secret[w].value();
-      unsigned __int128 a1 = secret[w + 1].value();
-      unsigned __int128 a2 = secret[w + 2].value();
-      unsigned __int128 a3 = secret[w + 3].value();
-      for (std::size_t j0 = 0; j0 < t_; j0 += kChunk) {
-        const std::size_t j1 = std::min(j0 + kChunk, t_);
-        for (std::size_t j = j0; j < j1; ++j) {
-          const unsigned __int128 v = vrow[j].value();
-          a0 += v * c0[j].value();
-          a1 += v * c1[j].value();
-          a2 += v * c2[j].value();
-          a3 += v * c3[j].value();
-        }
-        a0 = fold(a0);
-        a1 = fold(a1);
-        a2 = fold(a2);
-        a3 = fold(a3);
-      }
-      ys[w] = Fp(fold(a0));
-      ys[w + 1] = Fp(fold(a1));
-      ys[w + 2] = Fp(fold(a2));
-      ys[w + 3] = Fp(fold(a3));
+      for (std::size_t k = 0; k < 4; ++k) init[k] = secret[w + k].value();
+      simd::dot4_mod_p(vrow, c0, c0 + t_, c0 + 2 * t_, c0 + 3 * t_, t_, init,
+                       folded);
+      for (std::size_t k = 0; k < 4; ++k) ys[w + k] = Fp(folded[k]);
     }
-    for (; w < words; ++w) {
-      const Fp* cw = &coeffs[w * t_];
-      unsigned __int128 acc = secret[w].value();
-      for (std::size_t j0 = 0; j0 < t_; j0 += kChunk) {
-        const std::size_t j1 = std::min(j0 + kChunk, t_);
-        for (std::size_t j = j0; j < j1; ++j)
-          acc += static_cast<unsigned __int128>(vrow[j].value()) *
-                 cw[j].value();
-        acc = fold(acc);
-      }
-      ys[w] = Fp(fold(acc));
-    }
+    for (; w < words; ++w)
+      ys[w] = Fp(simd::dot_mod_p(vrow, &coeffs[w * t_], t_,
+                                 secret[w].value()));
   }
 }
 

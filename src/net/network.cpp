@@ -7,6 +7,23 @@
 
 namespace ba {
 
+namespace {
+
+/// Stream-and-release policy for per-receiver round buffers: release the
+/// heap block when its retained capacity dwarfs the traffic it is being
+/// asked to hold (4x hysteresis), but never bother below a floor — small
+/// buffers are the steady state and exposure schedules interleave empty
+/// rounds with full ones, so releasing them would just churn the
+/// allocator. Only a genuine spike (an all-to-all baseline round, a
+/// flooding adversary) trips the release, and only once traffic falls.
+void release_if_oversized(std::vector<Envelope>& v, std::size_t target) {
+  constexpr std::size_t kFloorCap = 1024;
+  if (v.capacity() > kFloorCap && v.capacity() > 4 * target)
+    v.shrink_to_fit();
+}
+
+}  // namespace
+
 Network::Network(std::size_t n, std::size_t max_corrupt)
     : n_(n),
       max_corrupt_(max_corrupt),
@@ -75,7 +92,15 @@ void Network::deliver_bucket(ProcId p, DeliveryScratch& s) {
   in.clear();
   spans.clear();
   auto& stage = staging_[p];
-  if (stage.empty()) return;
+  if (stage.empty()) {
+    // Stream-and-release: an idle receiver whose buffers still hold a
+    // past spike's capacity returns it now instead of pinning peak RSS
+    // for the rest of the run (see release_if_oversized's hysteresis).
+    release_if_oversized(in, 0);
+    release_if_oversized(stage, 0);
+    return;
+  }
+  const std::size_t delivered = stage.size();
   if (s.sender_slot.size() < n_) s.sender_slot.assign(n_, 0);
   // One pass: charge receipts, count per sender, detect sorted input
   // and tag uniformity (one compare — almost every bucket carries a
@@ -112,6 +137,16 @@ void Network::deliver_bucket(ProcId p, DeliveryScratch& s) {
   }
   for (ProcId sender : s.touched_senders) s.sender_slot[sender] = 0;
   stage.clear();
+  // Stream-and-release (the huge-n memory diet): capacities are still
+  // reused round over round — a steady workload never reallocates — but
+  // a buffer whose retained capacity dwarfs this round's traffic (a past
+  // all-to-all spike, say) is released rather than carried to the end of
+  // the run. The 4x hysteresis plus the small-buffer floor keep normal
+  // round-to-round jitter from ever triggering a release; the policy
+  // depends only on this receiver's own traffic, so delivery stays a
+  // pure per-receiver function (worker-count independent).
+  release_if_oversized(stage, delivered);
+  release_if_oversized(in, in.size());
   if (uniform_tag) {
     spans.push_back({first_tag, 0, static_cast<std::uint32_t>(in.size())});
   } else {

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <numeric>
+#include <unordered_map>
 
 #include "adversary/strategies.h"
 #include "aeba/aeba_with_coins.h"
@@ -152,6 +153,43 @@ class EverywhereProtocol final : public Protocol {
                           static_cast<double>(res.a2e.agree_count));
     r.extras.emplace_back("a2e_wrong_count",
                           static_cast<double>(res.a2e.wrong_count));
+    // Margin diagnostics for the Algorithm 3 polling: how many good
+    // processors never met the Lemma 7 threshold, how many loops ran, and
+    // how strongly good processors agreed on the sequence words the loops
+    // keyed their labels off (the per-loop response mean is proportional
+    // to this agreement — when it sags toward the threshold, stragglers
+    // appear; see A2EParams::laptop_scale).
+    {
+      const auto& mask = net.corrupt_mask();
+      std::size_t undecided = 0;
+      for (ProcId p = 0; p < s.n; ++p)
+        if (!mask[p] && !res.a2e.decided[p]) ++undecided;
+      r.extras.emplace_back("a2e_undecided_count",
+                            static_cast<double>(undecided));
+      const std::size_t loops = res.a2e.loops.size();
+      r.extras.emplace_back("a2e_loops", static_cast<double>(loops));
+      if (!res.ae.seq_views.empty() && loops > 0) {
+        double min_agree = 1.0, sum_agree = 0.0;
+        for (std::size_t l = 0; l < loops; ++l) {
+          const auto& views = res.ae.seq_views[l % res.ae.seq_views.size()];
+          std::unordered_map<std::uint64_t, std::size_t> count;
+          std::size_t good = 0, best = 0;
+          for (ProcId p = 0; p < s.n; ++p) {
+            if (mask[p]) continue;
+            ++good;
+            best = std::max(best, ++count[views[p]]);
+          }
+          const double agree =
+              good > 0 ? static_cast<double>(best) / static_cast<double>(good)
+                       : 0.0;
+          min_agree = std::min(min_agree, agree);
+          sum_agree += agree;
+        }
+        r.extras.emplace_back("seq_view_agree_min", min_agree);
+        r.extras.emplace_back("seq_view_agree_mean",
+                              sum_agree / static_cast<double>(loops));
+      }
+    }
     fill_ledger_totals(r, net);
 
     auto detail = std::make_shared<RunDetail>();
@@ -585,6 +623,7 @@ RunReport run_scenario(const ScenarioSpec& spec, std::uint64_t seed_offset) {
   report.workers = Pool::num_threads();
   report.wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
+  report.peak_rss_kb = current_peak_rss_kb();
   return report;
 }
 

@@ -46,6 +46,21 @@ void write_escaped(std::ostream& os, const std::string& s) {
 
 }  // namespace
 
+std::uint64_t current_peak_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  std::uint64_t kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
 void RunReport::write_json(std::ostream& os, bool include_timing) const {
   os << "{\"scenario\":";
   write_escaped(os, scenario);
@@ -73,7 +88,10 @@ void RunReport::write_json(std::ostream& os, bool include_timing) const {
     os << ':' << json_double(extras[i].second);
   }
   os << '}';
-  if (include_timing) os << ",\"wall_ms\":" << json_double(wall_ms);
+  if (include_timing) {
+    os << ",\"wall_ms\":" << json_double(wall_ms);
+    os << ",\"peak_rss_kb\":" << peak_rss_kb;
+  }
   os << '}';
 }
 

@@ -82,13 +82,23 @@ struct RunReport {
 
   double wall_ms = 0.0;
 
+  /// Process-lifetime peak resident set (VmHWM) sampled at run end, in
+  /// KiB; 0 where the platform offers no cheap probe. Machine-dependent
+  /// like wall_ms, so it rides under the same include_timing gate.
+  std::uint64_t peak_rss_kb = 0;
+
   std::shared_ptr<const RunDetail> detail;
 
   /// One stable JSON object (single line, fixed key order). With
-  /// `include_timing` false the wall_ms field is omitted and the output
-  /// is byte-stable at a fixed seed (the golden-test form).
+  /// `include_timing` false the wall_ms and peak_rss_kb fields are
+  /// omitted and the output is byte-stable at a fixed seed (the
+  /// golden-test form).
   void write_json(std::ostream& os, bool include_timing = true) const;
 };
+
+/// The process's peak resident set so far in KiB (Linux VmHWM via
+/// /proc/self/status); 0 on platforms without the probe.
+std::uint64_t current_peak_rss_kb();
 
 /// Fingerprint accumulator: FNV-1a over 64-bit words plus a bit-exact
 /// double mixer (doubles enter via their IEEE-754 bit pattern).

@@ -412,6 +412,21 @@ void register_experiments(std::vector<ScenarioSpec>& out) {
   }
   {
     ScenarioSpec s;
+    s.name = "e1_n65536";
+    s.note =
+        "huge-n proof point: full O~(sqrt n) pipeline at n = 65536 under "
+        "the SIMD kernels and the pooled-arena memory diet";
+    s.heavy = true;
+    s.protocol = ProtocolKind::kEverywhere;
+    s.n = 65536;
+    s.adversary_seed = 1000;
+    s.inputs = InputPattern::kRandom;
+    s.input_seed = 40;
+    s.protocol_seed = 7;
+    out.push_back(s);
+  }
+  {
+    ScenarioSpec s;
     s.name = "e2_almost_everywhere";
     s.note = "E2/Thm 2: tournament-only agreement point";
     s.protocol = ProtocolKind::kAlmostEverywhere;

@@ -46,7 +46,7 @@ void print_table(const std::vector<RunReport>& reports) {
   ba::Table t("scenario runs");
   t.header({"scenario", "protocol", "n", "seed", "workers", "decided",
             "validity", "agree_frac", "rounds", "max_bits/good",
-            "total_bits/good", "wall_ms"});
+            "total_bits/good", "wall_ms", "peak_rss_kb"});
   for (const auto& r : reports) {
     t.row({r.scenario, std::string(ba::sim::to_string(r.protocol)),
            static_cast<std::int64_t>(r.n),
@@ -56,7 +56,8 @@ void print_table(const std::vector<RunReport>& reports) {
            static_cast<std::int64_t>(r.validity), r.agreement_fraction,
            static_cast<std::int64_t>(r.rounds),
            static_cast<std::int64_t>(r.max_bits_good),
-           static_cast<std::int64_t>(r.total_bits_good), r.wall_ms});
+           static_cast<std::int64_t>(r.total_bits_good), r.wall_ms,
+           static_cast<std::int64_t>(r.peak_rss_kb)});
   }
   t.print(std::cout);
 }
