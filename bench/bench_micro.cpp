@@ -21,6 +21,7 @@
 #include "adversary/strategies.h"
 #include "aeba/aeba_with_coins.h"
 #include "common/arena.h"
+#include "common/plurality.h"
 #include "common/pool.h"
 #include "core/share_flow.h"
 #include "crypto/berlekamp_welch.h"
@@ -590,6 +591,157 @@ Comparison compare_share_flow_parallel() {
   return c;
 }
 
+Comparison compare_send_open_tally() {
+  // The streaming-sendOpen tally, serial vs serial — an algorithmic
+  // entry, not a fan-out one. "legacy" re-creates the seed's per-word
+  // leaf walk: for every receiver and every word it re-walks the
+  // ell-linked leaves and their member lists, re-checking sender conduct
+  // and recounting the leaf plurality from scratch (garbage words come
+  // from a local stand-in stream; the seed interleaved them with the
+  // global rng, which is exactly what kept the stage serial), charging
+  // the ledger per surviving (sender, receiver) pair like the protocol
+  // does. "current" is ShareFlow::send_open on the same exposure: one
+  // structural pass bins the (receiver -> senders) slices, and the
+  // per-word loop runs over contiguous pre-bound slices. Advisory: the
+  // ratio is structural-rescan-vs-binned bookkeeping around an identical
+  // tally kernel, not a headline protocol speedup.
+  constexpr std::size_t kN = 4096;
+  auto params = ProtocolParams::laptop_scale(kN);
+  Rng rng(7001);
+  Rng tree_rng = rng.fork(1);
+  TournamentTree tree(params.tree, tree_rng);
+  Network net(kN, kN / 3);
+  StaticMaliciousAdversary adversary(0.05, 7002);
+  adversary.on_start(net);
+  ShareFlow flow(params, tree, net, rng.fork(2));
+  const std::size_t words = 16;
+  std::vector<Fp> secret(words);
+  for (auto& w : secret) w = Fp(rng.next());
+  ArrayState a;
+  a.id = 7;
+  a.recs = flow.deal_to_leaf(7, 7, secret);
+  a.level = 1;
+  a.node_idx = 7;
+  while (a.level < tree.num_levels())
+    flow.send_secret_up(a, 0, [](std::size_t) { return true; });
+  const LeafViews lv = flow.send_down(a, 4, 12);
+
+  const TreeNode& node = tree.node(a.level, a.node_idx);
+  // Seed-style plurality: every candidate rescans the whole value list
+  // (the O(k^2) nested recount the binned tally replaced; first
+  // occurrence wins ties, like PluralityCounter).
+  std::vector<std::uint64_t> vals;
+  const auto seed_winner = [&vals] {
+    std::uint64_t best = 0;
+    std::size_t best_count = 0;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      std::size_t count = 0;
+      for (std::size_t j = 0; j < vals.size(); ++j)
+        count += vals[j] == vals[i] ? 1 : 0;
+      if (count > best_count) {
+        best_count = count;
+        best = vals[i];
+      }
+    }
+    return best;
+  };
+  PluralityCounter node_tally;
+  Rng garbage(7003);
+  const auto legacy_walk = [&] {
+    MemberViews mv(node.members.size(), lv.nwords());
+    for (std::size_t pos = 0; pos < node.members.size(); ++pos) {
+      for (std::uint32_t leaf_abs : node.ell[pos]) {
+        const TreeNode& leaf = tree.node(1, leaf_abs);
+        for (const ProcId s : leaf.members)
+          net.charge_batch(s, node.members[pos],
+                           lv.nwords() * kWordBits);
+      }
+      for (std::size_t w = 0; w < lv.nwords(); ++w) {
+        node_tally.clear();
+        for (std::uint32_t leaf_abs : node.ell[pos]) {
+          const TreeNode& leaf = tree.node(1, leaf_abs);
+          const std::size_t rel = leaf_abs - lv.leaf_begin();
+          vals.clear();
+          for (std::size_t i = 0; i < leaf.members.size(); ++i) {
+            const ProcId s = leaf.members[i];
+            vals.push_back(net.is_corrupt(s) ? garbage.next()
+                                             : lv.at(rel, i, w).value());
+          }
+          node_tally.add(seed_winner());
+        }
+        mv.set(pos, w, Fp(node_tally.winner()));
+      }
+    }
+    benchmark::DoNotOptimize(mv);
+  };
+  const auto current_open = [&] {
+    MemberViews mv = flow.send_open(a.level, a.node_idx, lv);
+    benchmark::DoNotOptimize(mv);
+  };
+  Comparison c;
+  c.name = "send_open_tally";
+  c.advisory = true;
+  char params_buf[128];
+  std::snprintf(params_buf, sizeof(params_buf),
+                "n=4096 words=8 receivers=%zu links=%zu",
+                node.members.size(),
+                node.ell.empty() ? std::size_t{0} : node.ell[0].size());
+  c.params = params_buf;
+  c.legacy_ns = time_ns_per_op(legacy_walk);
+  c.current_ns = time_ns_per_op(current_open);
+  return c;
+}
+
+Comparison compare_expose_open_parallel() {
+  // The full batched exposure — sendDown plus the streaming sendOpen
+  // this PR moved onto the pool — at 1 worker vs min(8, hardware).
+  // Unlike the older pool-vs-serial entries this one is written even on
+  // a single-core host (where it degenerates to ~1.0x serial-vs-serial):
+  // it is advisory either way, and keeping the row in the ledger gives
+  // multi-core regenerations a fixed name to diff against.
+  constexpr std::size_t kN = 4096;
+  auto params = ProtocolParams::laptop_scale(kN);
+  Rng rng(7101);
+  Rng tree_rng = rng.fork(1);
+  TournamentTree tree(params.tree, tree_rng);
+  Network net(kN, kN / 3);
+  StaticMaliciousAdversary adversary(0.05, 7102);
+  adversary.on_start(net);
+  ShareFlow flow(params, tree, net, rng.fork(2));
+  const std::size_t words = 16;
+  std::vector<Fp> secret(words);
+  for (auto& w : secret) w = Fp(rng.next());
+  ArrayState a;
+  a.id = 9;
+  a.recs = flow.deal_to_leaf(9, 9, secret);
+  a.level = 1;
+  a.node_idx = 9;
+  while (a.level < tree.num_levels())
+    flow.send_secret_up(a, 0, [](std::size_t) { return true; });
+  const std::vector<ShareFlow::ExposeJob> jobs = {{&a, 4, 8}, {&a, 8, 12}};
+  const auto exposure = [&] {
+    std::vector<ShareFlow::Exposure> ex = flow.expose_batch(jobs);
+    benchmark::DoNotOptimize(ex);
+  };
+  exposure();  // prime the arena slabs and decoder cache for both sides
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t workers = hw < 2 ? 1 : std::min<std::size_t>(8, hw);
+  Comparison c;
+  c.name = "expose_open_parallel";
+  c.advisory = true;
+  char params_buf[128];
+  std::snprintf(params_buf, sizeof(params_buf),
+                "n=4096 jobs=2 words=4 workers=%zu host_cores=%u", workers,
+                hw);
+  c.params = params_buf;
+  Pool::set_threads(1);
+  c.legacy_ns = time_ns_per_op(exposure);
+  Pool::set_threads(workers);
+  c.current_ns = time_ns_per_op(exposure);
+  Pool::set_threads(0);
+  return c;
+}
+
 // ---------------------------------------------------------------------
 // Scalar-vs-SIMD kernel comparisons (common/simd.h). "legacy" is the
 // always-compiled simd::scalar:: reference (the seed's deferred-128-bit
@@ -791,6 +943,7 @@ int write_comparison_json() {
   comps.push_back(compare_payload_churn());
   comps.push_back(compare_tagged_inbox_scan());
   comps.push_back(compare_share_fanout_arena());
+  comps.push_back(compare_send_open_tally());
   comps.push_back(compare_simd_dealing_matmul());
   comps.push_back(compare_simd_barycentric_dot());
   comps.push_back(compare_simd_gao_euclid());
@@ -807,6 +960,9 @@ int write_comparison_json() {
         "share_flow_parallel (pool-vs-serial ratio is meaningless)\n",
         host_cores);
   }
+  // Written on every host (advisory): the single-core degenerate case is
+  // an honest ~1.0x row, not a misleading committed baseline.
+  comps.push_back(compare_expose_open_parallel());
   Pool::set_threads(0);  // restore the environment default
   const auto heavy = read_heavy_runs();
 

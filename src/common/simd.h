@@ -267,12 +267,49 @@ inline std::uint64_t dot_mod_p(const Fp* a, const Fp* b, std::size_t n,
 inline void dot4_mod_p(const Fp* a, const Fp* b0, const Fp* b1, const Fp* b2,
                        const Fp* b3, std::size_t n, const std::uint64_t* init,
                        std::uint64_t* out) {
-  // Four independent vector dots: the shared left operand stays in L1,
-  // and each dot keeps its own carry-free block accumulators.
-  out[0] = dot_mod_p(a, b0, n, init[0]);
-  out[1] = dot_mod_p(a, b1, n, init[1]);
-  out[2] = dot_mod_p(a, b2, n, init[2]);
-  out[3] = dot_mod_p(a, b3, n, init[3]);
+  if (n < 8) return scalar::dot4_mod_p(a, b0, b1, b2, b3, n, init, out);
+  // Fused four-row kernel: the shared a column is loaded and 31-bit-split
+  // once per vector iteration and feeds all four rows' block accumulators.
+  // Rows never mix, so each row's (sll, smid, shh) obeys exactly the
+  // single-dot carry-free bounds above.
+  const Fp* bs[4] = {b0, b1, b2, b3};
+  const __m256i M = detail::m31();
+  __m256i run[4] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
+                    _mm256_setzero_si256(), _mm256_setzero_si256()};
+  std::size_t i = 0;
+  while (i + 4 <= n) {
+    __m256i sll[4], smid[4], shh[4];
+    for (int k = 0; k < 4; ++k)
+      sll[k] = smid[k] = shh[k] = _mm256_setzero_si256();
+    for (std::size_t it = 0; it < detail::kBlockIters && i + 4 <= n;
+         ++it, i += 4) {
+      const __m256i va = detail::loadu(a + i);
+      const __m256i a0 = _mm256_and_si256(va, M);
+      const __m256i a1 = _mm256_srli_epi64(va, 31);
+      for (int k = 0; k < 4; ++k) {
+        const __m256i vb = detail::loadu(bs[k] + i);
+        const __m256i bk0 = _mm256_and_si256(vb, M);
+        const __m256i bk1 = _mm256_srli_epi64(vb, 31);
+        sll[k] = _mm256_add_epi64(sll[k], _mm256_mul_epu32(a0, bk0));
+        smid[k] = _mm256_add_epi64(
+            smid[k], _mm256_add_epi64(_mm256_mul_epu32(a0, bk1),
+                                      _mm256_mul_epu32(a1, bk0)));
+        shh[k] = _mm256_add_epi64(shh[k], _mm256_mul_epu32(a1, bk1));
+      }
+    }
+    for (int k = 0; k < 4; ++k)
+      run[k] = detail::partial_reduce(_mm256_add_epi64(
+          run[k], detail::fold_block(sll[k], smid[k], shh[k])));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  for (int k = 0; k < 4; ++k) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), run[k]);
+    unsigned __int128 acc = static_cast<unsigned __int128>(lanes[0]) +
+                            lanes[1] + lanes[2] + lanes[3] + init[k];
+    for (std::size_t j = i; j < n; ++j)
+      acc += static_cast<unsigned __int128>(a[j].value()) * bs[k][j].value();
+    out[k] = scalar::fold128(acc);
+  }
 }
 
 inline void fnma_mod_p(Fp* out, const Fp* in, Fp c, std::size_t n) {
@@ -411,10 +448,44 @@ inline std::uint64_t dot_mod_p(const Fp* a, const Fp* b, std::size_t n,
 inline void dot4_mod_p(const Fp* a, const Fp* b0, const Fp* b1, const Fp* b2,
                        const Fp* b3, std::size_t n, const std::uint64_t* init,
                        std::uint64_t* out) {
-  out[0] = dot_mod_p(a, b0, n, init[0]);
-  out[1] = dot_mod_p(a, b1, n, init[1]);
-  out[2] = dot_mod_p(a, b2, n, init[2]);
-  out[3] = dot_mod_p(a, b3, n, init[3]);
+  if (n < 4) return scalar::dot4_mod_p(a, b0, b1, b2, b3, n, init, out);
+  // Fused four-row kernel (see the AVX2 variant): one shared load + split
+  // of the a column per iteration, per-row block accumulators with the
+  // single-dot bounds.
+  const Fp* bs[4] = {b0, b1, b2, b3};
+  const uint64x2_t M = vdupq_n_u64((1ULL << 31) - 1);
+  uint64x2_t run[4] = {vdupq_n_u64(0), vdupq_n_u64(0), vdupq_n_u64(0),
+                       vdupq_n_u64(0)};
+  std::size_t i = 0;
+  while (i + 2 <= n) {
+    uint64x2_t sll[4], smid[4], shh[4];
+    for (int k = 0; k < 4; ++k)
+      sll[k] = smid[k] = shh[k] = vdupq_n_u64(0);
+    for (std::size_t it = 0; it < detail::kBlockIters && i + 2 <= n;
+         ++it, i += 2) {
+      const uint64x2_t va = detail::loadu(a + i);
+      const uint64x2_t a0 = vandq_u64(va, M), a1 = vshrq_n_u64(va, 31);
+      for (int k = 0; k < 4; ++k) {
+        const uint64x2_t vb = detail::loadu(bs[k] + i);
+        const uint64x2_t bk0 = vandq_u64(vb, M), bk1 = vshrq_n_u64(vb, 31);
+        sll[k] = vaddq_u64(sll[k], detail::mul32(a0, bk0));
+        smid[k] = vaddq_u64(smid[k], vaddq_u64(detail::mul32(a0, bk1),
+                                               detail::mul32(a1, bk0)));
+        shh[k] = vaddq_u64(shh[k], detail::mul32(a1, bk1));
+      }
+    }
+    for (int k = 0; k < 4; ++k)
+      run[k] = detail::partial_reduce(
+          vaddq_u64(run[k], detail::fold_block(sll[k], smid[k], shh[k])));
+  }
+  for (int k = 0; k < 4; ++k) {
+    unsigned __int128 acc = static_cast<unsigned __int128>(
+                                vgetq_lane_u64(run[k], 0)) +
+                            vgetq_lane_u64(run[k], 1) + init[k];
+    for (std::size_t j = i; j < n; ++j)
+      acc += static_cast<unsigned __int128>(a[j].value()) * bs[k][j].value();
+    out[k] = scalar::fold128(acc);
+  }
 }
 
 inline void fnma_mod_p(Fp* out, const Fp* in, Fp c, std::size_t n) {

@@ -488,6 +488,8 @@ AeResult AlmostEverywhereBA::run(Network& net, Adversary& adversary,
   }
 
   result.rounds = net.round();
+  result.open_tally_receivers = flow.open_receivers();
+  result.open_tally_dispatches = flow.open_tallies();
   return result;
 }
 

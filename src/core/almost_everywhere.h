@@ -91,6 +91,11 @@ struct AeResult {
   std::vector<bool> seq_word_good;       ///< ground truth per sequence word
   std::vector<std::uint64_t> seq_truth;  ///< true word (valid when good)
   std::size_t r_root = 0;
+
+  // sendOpen tally instrumentation (pooled per-receiver fan-out; report
+  // extras only, never fingerprinted).
+  std::uint64_t open_tally_receivers = 0;   ///< receivers tallied in total
+  std::uint64_t open_tally_dispatches = 0;  ///< pooled tally dispatches
 };
 
 class AlmostEverywhereBA {

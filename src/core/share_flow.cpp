@@ -33,7 +33,75 @@ void ShareFlow::ensure_worker_scratch() {
     span_scratch_.resize(w);
     deal_out_scratch_.resize(w);
     slice_scratch_.resize(w);
+    leaf_tally_scratch_.resize(w);
+    node_tally_scratch_.resize(w);
   }
+}
+
+void ShareFlow::build_open_plan(std::size_t level, std::size_t node_idx,
+                                std::size_t views_leaf_begin, OpenPlan& plan) {
+  const TreeNode& node = tree_.node(level, node_idx);
+  std::size_t links = 0;
+  for (const auto& leaves : node.ell) links += leaves.size();
+  plan.senders.reserve(plan.senders.size() + links * params_.tree.k1);
+  plan.ids.reserve(plan.ids.size() + links * params_.tree.k1);
+  plan.leaf_ends.reserve(plan.leaf_ends.size() + links);
+  plan.pos_leaf_ends.reserve(plan.pos_leaf_ends.size() + node.members.size());
+  for (std::size_t pos = 0; pos < node.members.size(); ++pos) {
+    for (std::uint32_t leaf_abs : node.ell[pos]) {
+      const TreeNode& leaf = tree_.node(1, leaf_abs);
+      const auto rel =
+          static_cast<std::uint32_t>(leaf_abs - views_leaf_begin);
+      for (std::size_t i = 0; i < leaf.members.size(); ++i) {
+        const ProcId sender = leaf.members[i];
+        if (silent(sender)) continue;
+        plan.senders.push_back({rel, static_cast<std::uint16_t>(i),
+                                static_cast<std::uint8_t>(lying(sender))});
+        plan.ids.push_back(sender);
+      }
+      plan.leaf_ends.push_back(
+          static_cast<std::uint32_t>(plan.senders.size()));
+    }
+    plan.pos_leaf_ends.push_back(
+        static_cast<std::uint32_t>(plan.leaf_ends.size()));
+  }
+}
+
+void ShareFlow::open_tally(const TreeNode& node, const OpenPlan& plan,
+                           const LeafViews& views, std::uint64_t salt,
+                           MemberViews& out) {
+  ensure_worker_scratch();
+  const std::size_t nwords = views.nwords();
+  const Rng salted(salt);
+  open_receivers_ += node.members.size();
+  open_tallies_ += 1;
+  Pool::for_each(node.members.size(), [&](std::size_t pos,
+                                          std::size_t worker) {
+    // Per-receiver garbage stream: a function of (salt, pos) alone, so
+    // lying-sender draws are identical at any worker count and never
+    // touch rng_. Draw order within the stream is (word, leaf, sender).
+    Rng garbage_stream = salted.fork(pos);
+    PluralityCounter& leaf_tally = leaf_tally_scratch_[worker];
+    PluralityCounter& node_tally = node_tally_scratch_[worker];
+    const std::uint32_t lb = pos == 0 ? 0 : plan.pos_leaf_ends[pos - 1];
+    const std::uint32_t le = plan.pos_leaf_ends[pos];
+    const std::size_t s_begin = lb == 0 ? 0 : plan.leaf_ends[lb - 1];
+    for (std::size_t w = 0; w < nwords; ++w) {
+      node_tally.clear();
+      std::size_t si = s_begin;
+      for (std::size_t l = lb; l < le; ++l) {
+        leaf_tally.clear();
+        for (; si < plan.leaf_ends[l]; ++si) {
+          const OpenSender& s = plan.senders[si];
+          leaf_tally.add(s.lies
+                             ? garbage_stream.next()
+                             : views.at(s.leaf_rel, s.member_idx, w).value());
+        }
+        node_tally.add(leaf_tally.winner());
+      }
+      out.set(pos, w, Fp(node_tally.winner()));
+    }
+  });
 }
 
 void ShareFlow::optimistic_units(
@@ -523,9 +591,10 @@ std::vector<ShareFlow::Exposure> ShareFlow::expose_batch(
   };
 
   // ---- Per-chunk plan structures. BNode/BGroup/BLeaf mirror send_down's
-  // NodeWork/Group/LeafWork one for one; BSender mirrors send_open's
-  // LeafSender plus the sender id (its charge is deferred to the apply
-  // phase, so the identity must survive the structural pass).
+  // NodeWork/Group/LeafWork one for one; the sendOpen structure is the
+  // same OpenPlan the standalone path builds (sender identities survive
+  // the structural pass because the batched charges are deferred to the
+  // apply phase).
   struct BGroup {
     Chain pc = 0;
     std::uint32_t holder_pos = 0;
@@ -554,12 +623,6 @@ std::vector<ShareFlow::Exposure> ShareFlow::expose_batch(
     Fp* secret = nullptr;
     std::uint8_t ok = 0;
   };
-  struct BSender {
-    std::uint32_t leaf_rel = 0;
-    std::uint32_t member_idx = 0;
-    ProcId id = 0;
-    bool lies = false;
-  };
   struct BJob {
     const ArrayState* a = nullptr;
     std::size_t nwords = 0, s0 = 0;
@@ -568,11 +631,8 @@ std::vector<ShareFlow::Exposure> ShareFlow::expose_batch(
     std::vector<std::vector<DownRec>> batches;
     std::vector<std::vector<BNode>> levels;  ///< [li] is tree level - li
     std::vector<BLeaf> leaves;
-    // sendOpen structure, flattened across receivers in tally order.
-    std::vector<BSender> senders;
-    std::vector<std::uint32_t> leaf_ends;      ///< ends into senders
-    std::vector<std::uint32_t> pos_leaf_ends;  ///< per receiver, into leaf_ends
-    std::vector<std::uint64_t> fifo;  ///< pre-drawn open garbage, tally order
+    OpenPlan open;           ///< sendOpen structure, receiver-binned
+    std::uint64_t salt = 0;  ///< sendOpen garbage-stream salt (draw pass)
   };
 
   // ---- Structural pass for one job: everything send_down + send_open
@@ -718,33 +778,17 @@ std::vector<ShareFlow::Exposure> ShareFlow::expose_batch(
       }
     }
 
-    // sendOpen sender lists, flattened in tally order.
-    const TreeNode& node = tree_.node(level, a.node_idx);
-    for (std::size_t pos = 0; pos < node.members.size(); ++pos) {
-      for (std::uint32_t leaf_abs : node.ell[pos]) {
-        const TreeNode& leaf = tree_.node(1, leaf_abs);
-        const auto rel =
-            static_cast<std::uint32_t>(leaf_abs - plan.top->leaf_begin);
-        for (std::size_t i = 0; i < leaf.members.size(); ++i) {
-          const ProcId sender = leaf.members[i];
-          if (silent(sender)) continue;
-          plan.senders.push_back({rel, static_cast<std::uint32_t>(i), sender,
-                                  lying(sender)});
-        }
-        plan.leaf_ends.push_back(
-            static_cast<std::uint32_t>(plan.senders.size()));
-      }
-      plan.pos_leaf_ends.push_back(
-          static_cast<std::uint32_t>(plan.leaf_ends.size()));
-    }
+    // sendOpen sender lists, receiver-binned exactly as the standalone
+    // path builds them.
+    build_open_plan(level, a.node_idx, plan.top->leaf_begin, plan.open);
   };
 
   // ---- Draw pass for one job: exactly the draws the serial path takes,
   // in its order — per level (descending) the lying holders' transmissions
   // in frontier/record order, then per leaf the lying 1-shares plus the
   // deterministic not-enough-survivors failure views, then sendOpen's
-  // lying-sender garbage in (receiver, word, leaf, sender) tally order,
-  // pre-drawn into a FIFO the apply-phase tally consumes.
+  // one salt draw (the per-receiver garbage streams the apply-phase tally
+  // forks from it are off-rng_ by construction).
   const auto draw_job = [&](BJob& plan, LeafViews& views) {
     const std::size_t nwords = plan.nwords;
     for (std::vector<BNode>& nodes : plan.levels)
@@ -763,24 +807,13 @@ std::vector<ShareFlow::Exposure> ShareFlow::expose_batch(
             views.set(rel, pos, w, garbage());
       }
     }
-    std::size_t lb = 0, sb = 0;
-    for (const std::uint32_t le : plan.pos_leaf_ends) {
-      const std::size_t s_begin = sb;
-      for (std::size_t w = 0; w < nwords; ++w) {
-        std::size_t si = s_begin;
-        for (std::size_t l = lb; l < le; ++l)
-          for (; si < plan.leaf_ends[l]; ++si)
-            if (plan.senders[si].lies) plan.fifo.push_back(garbage().value());
-      }
-      sb = lb == le ? sb : plan.leaf_ends[le - 1];
-      lb = le;
-    }
+    plan.salt = rng_.next();
   };
 
   // ---- Apply pass for one fully-decoded job: the deferred ledger
   // charges (order within a round is immaterial — the ledger digests
   // per-processor totals and no round advances inside a batch) and the
-  // sendOpen tally, reading decoded leaf views plus the pre-drawn FIFO.
+  // pooled sendOpen tally over the decoded leaf views.
   const auto apply_job = [&](BJob& plan, LeafViews& views) {
     const std::size_t nwords = plan.nwords;
     for (std::size_t li = 0; li < plan.levels.size(); ++li) {
@@ -809,34 +842,18 @@ std::vector<ShareFlow::Exposure> ShareFlow::expose_batch(
     }
     const TreeNode& node = tree_.node(level, plan.a->node_idx);
     MemberViews mv(node.members.size(), nwords);
-    PluralityCounter leaf_tally, node_tally;
-    std::size_t lb = 0, sb = 0, fi = 0;
+    std::size_t lb = 0, sb = 0;
     for (std::size_t pos = 0; pos < node.members.size(); ++pos) {
       const ProcId receiver = node.members[pos];
-      const std::uint32_t le = plan.pos_leaf_ends[pos];
-      const std::size_t s_begin = sb;
-      for (std::size_t si = s_begin;
-           si < (lb == le ? s_begin : plan.leaf_ends[le - 1]); ++si)
-        net_.charge_batch(plan.senders[si].id, receiver, nwords * kWordBits);
-      for (std::size_t w = 0; w < nwords; ++w) {
-        node_tally.clear();
-        std::size_t si = s_begin;
-        for (std::size_t l = lb; l < le; ++l) {
-          leaf_tally.clear();
-          for (; si < plan.leaf_ends[l]; ++si) {
-            const BSender& s = plan.senders[si];
-            leaf_tally.add(s.lies
-                               ? plan.fifo[fi++]
-                               : views.at(s.leaf_rel, s.member_idx, w).value());
-          }
-          node_tally.add(leaf_tally.winner());
-        }
-        mv.set(pos, w, Fp(node_tally.winner()));
-      }
-      sb = lb == le ? sb : plan.leaf_ends[le - 1];
+      const std::uint32_t le = plan.open.pos_leaf_ends[pos];
+      const std::size_t s_end = lb == le ? sb : plan.open.leaf_ends[le - 1];
+      for (std::size_t si = sb; si < s_end; ++si)
+        net_.charge_batch(plan.open.ids[si], receiver,
+                          nwords * kWordBits);
+      sb = s_end;
       lb = le;
     }
-    BA_ENSURE(fi == plan.fifo.size(), "open draw FIFO out of step");
+    open_tally(node, plan.open, views, plan.salt, mv);
     out.push_back(Exposure{std::move(views), std::move(mv)});
   };
 
@@ -975,51 +992,29 @@ MemberViews ShareFlow::send_open(std::size_t level, std::size_t node_idx,
   const TreeNode& node = tree_.node(level, node_idx);
   const std::size_t nwords = views.nwords();
   MemberViews out(node.members.size(), nwords);
-  // The surviving (leaf, member) sender set, each sender's lying flag, and
-  // the ledger charges depend only on identities, not on words — computed
-  // once per receiver (the seed re-walked every leaf member per word and
-  // recounted pluralities with an O(k^2) nested loop).
-  struct LeafSender {
-    std::uint32_t leaf_rel;     ///< leaf index relative to views
-    std::uint32_t member_idx;   ///< member position within the leaf
-    bool lies;
-  };
-  std::vector<LeafSender> senders;       // flattened per receiver
-  std::vector<std::uint32_t> leaf_ends;  // prefix ends into `senders`
-  PluralityCounter leaf_tally, node_tally;
+  // Structural pass (serial, draw-free): the surviving (leaf, member)
+  // sender set, each sender's lying flag, and the ledger charges depend
+  // only on identities, not on words — computed once per receiver (the
+  // seed re-walked every leaf member per word and recounted pluralities
+  // with an O(k^2) nested loop).
+  OpenPlan& plan = open_plan_scratch_;
+  plan.clear();
+  build_open_plan(level, node_idx, views.leaf_begin(), plan);
+  std::size_t lb = 0, sb = 0;
   for (std::size_t pos = 0; pos < node.members.size(); ++pos) {
     const ProcId receiver = node.members[pos];
-    senders.clear();
-    leaf_ends.clear();
-    for (std::uint32_t leaf_abs : node.ell[pos]) {
-      const TreeNode& leaf = tree_.node(1, leaf_abs);
-      const auto rel =
-          static_cast<std::uint32_t>(leaf_abs - views.leaf_begin());
-      for (std::size_t i = 0; i < leaf.members.size(); ++i) {
-        const ProcId sender = leaf.members[i];
-        if (silent(sender)) continue;
-        net_.charge_batch(sender, receiver, nwords * kWordBits);
-        senders.push_back(
-            {rel, static_cast<std::uint32_t>(i), lying(sender)});
-      }
-      leaf_ends.push_back(static_cast<std::uint32_t>(senders.size()));
-    }
-    for (std::size_t w = 0; w < nwords; ++w) {
-      node_tally.clear();
-      std::size_t si = 0;
-      for (const std::uint32_t end : leaf_ends) {
-        leaf_tally.clear();
-        for (; si < end; ++si) {
-          const LeafSender& s = senders[si];
-          leaf_tally.add(s.lies
-                             ? garbage().value()
-                             : views.at(s.leaf_rel, s.member_idx, w).value());
-        }
-        node_tally.add(leaf_tally.winner());
-      }
-      out.set(pos, w, Fp(node_tally.winner()));
-    }
+    const std::uint32_t le = plan.pos_leaf_ends[pos];
+    const std::size_t s_end = lb == le ? sb : plan.leaf_ends[le - 1];
+    for (std::size_t si = sb; si < s_end; ++si)
+      net_.charge_batch(plan.ids[si], receiver, nwords * kWordBits);
+    sb = s_end;
+    lb = le;
   }
+  // One salt draw at the call's serial rng_ position seeds every
+  // receiver's forked garbage stream; the per-receiver tallies then run
+  // draw-free on the pool.
+  const std::uint64_t salt = rng_.next();
+  open_tally(node, plan, views, salt, out);
   return out;
 }
 

@@ -55,10 +55,17 @@
 //    the dominant replication in the flow — copies pointers, not words.
 //    The arena resets at the top of each send_down call.
 //
-// sendOpen stays serial: its per-receiver tallies interleave lying-sender
-// garbage draws with the tally itself, and pre-drawing them would cost as
-// much as the tally. Ledger charges are order-independent totals and move
-// freely between phases.
+// sendOpen fans out per receiver: the structural pass bins the surviving
+// (leaf, member) senders per receiver (contiguous receiver -> leaves ->
+// senders slices), one salt is drawn from rng_ at the call's serial
+// position, and each receiver's tally runs on the pool drawing its
+// lying-sender garbage from Rng(salt).fork(pos) — the pool's per-item
+// stream-fork derivation, so draws depend on (salt, receiver) and never
+// on worker scheduling. This decouples the garbage from the global draw
+// order (the seed interleaved the two), which is why PR 7 re-pinned the
+// parity fingerprints and golden reports; the re-pin procedure is in
+// docs/ARCHITECTURE.md. Ledger charges are order-independent totals and
+// move freely between phases.
 #pragma once
 
 #include <cstdint>
@@ -66,6 +73,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/plurality.h"
 #include "core/array_state.h"
 #include "core/params.h"
 #include "crypto/berlekamp_welch.h"
@@ -210,6 +218,11 @@ class ShareFlow {
   /// hops down, one leaf-exchange round, one ell-link round.
   static std::size_t exposure_rounds(std::size_t level) { return level + 1; }
 
+  /// Receivers tallied by pooled sendOpen tallies so far (report extras).
+  std::uint64_t open_receivers() const { return open_receivers_; }
+  /// Pooled sendOpen tally dispatches so far (report extras).
+  std::uint64_t open_tallies() const { return open_tallies_; }
+
  private:
   /// A share record travelling down the tree: word values borrowed from
   /// the flow's arena (or the source ArrayState), replicated to children
@@ -219,6 +232,46 @@ class ShareFlow {
     std::uint32_t holder_pos = 0;
     FpSpan ys;
   };
+
+  /// One surviving sendOpen sender: where its reported word lives in the
+  /// leaf views and whether it lies. Packed to 8 bytes — the tally
+  /// re-walks the whole sender list once per word, so entry size is the
+  /// stage's memory-bandwidth knob. Sender identities live in the
+  /// parallel OpenPlan::ids array (touched once, by the charge loop).
+  struct OpenSender {
+    std::uint32_t leaf_rel = 0;    ///< leaf index relative to the views
+    std::uint16_t member_idx = 0;  ///< member position within the leaf
+    std::uint8_t lies = 0;
+  };
+  /// The sendOpen structure for one node, flattened across receivers in
+  /// tally order: receiver pos owns senders
+  /// [leaf_ends[pos_leaf_ends[pos-1] - 1], leaf_ends[pos_leaf_ends[pos] - 1])
+  /// split into leaves by leaf_ends — a contiguous
+  /// (receiver -> leaves -> senders) slice per pooled tally item.
+  struct OpenPlan {
+    std::vector<OpenSender> senders;
+    std::vector<ProcId> ids;                   ///< sender ids, same order
+    std::vector<std::uint32_t> leaf_ends;      ///< prefix ends into senders
+    std::vector<std::uint32_t> pos_leaf_ends;  ///< per receiver, into leaf_ends
+    void clear() {
+      senders.clear();
+      ids.clear();
+      leaf_ends.clear();
+      pos_leaf_ends.clear();
+    }
+  };
+
+  /// Structural pass of sendOpen (draw-free, charge-free): bin the
+  /// surviving senders of node (level, node_idx) per receiver.
+  void build_open_plan(std::size_t level, std::size_t node_idx,
+                       std::size_t views_leaf_begin, OpenPlan& plan);
+
+  /// Parallel sendOpen tally: per-receiver pluralities over the pool,
+  /// lying senders drawing from Rng(salt).fork(pos). Draw-free on rng_;
+  /// writes are receiver-indexed.
+  void open_tally(const TreeNode& node, const OpenPlan& plan,
+                  const LeafViews& views, std::uint64_t salt,
+                  MemberViews& out);
 
   Fp garbage() { return Fp(rng_.next()); }
   /// fill_garbage (core/array_state.h) over an arena run.
@@ -264,6 +317,14 @@ class ShareFlow {
   std::vector<std::vector<FpSpan>> span_scratch_;
   std::vector<std::vector<VectorShare>> deal_out_scratch_;
   std::vector<std::vector<Fp>> slice_scratch_;
+  std::vector<PluralityCounter> leaf_tally_scratch_;
+  std::vector<PluralityCounter> node_tally_scratch_;
+  OpenPlan open_plan_scratch_;  ///< serial send_open only (expose_batch
+                                ///< jobs own their plans)
+
+  // Instrumentation for report extras (not part of any fingerprint).
+  std::uint64_t open_receivers_ = 0;
+  std::uint64_t open_tallies_ = 0;
 };
 
 }  // namespace ba

@@ -101,6 +101,39 @@ TEST(SimdKernels, Dot4ModP) {
       }
 }
 
+TEST(SimdKernels, Dot4ModPChunkBoundarySweep) {
+  // The fused dot4 kernel shares one column load across four row
+  // accumulators and folds carry-free blocks every kBlockIters vector
+  // iterations — every (vector width × block) edge plus the scalar tail
+  // lives somewhere in 1..67 (AVX2 blocks span 16 words, NEON 8, and the
+  // small-n dispatch cutoffs sit at 8 and 4). Sweep them all so no
+  // boundary hides between the spot sizes in kLens.
+  Rng rng(0x51D6);
+  for (int shape = 0; shape < 3; ++shape)
+    for (std::size_t n = 1; n <= 67; ++n)
+      for (int rep = 0; rep < 2; ++rep) {
+        const auto a = draw_words(rng, n, shape);
+        std::vector<std::vector<Fp>> bs;
+        std::uint64_t init[4], got[4], sc[4];
+        for (int k = 0; k < 4; ++k) {
+          bs.push_back(draw_words(rng, n, shape));
+          init[k] = Fp(rng.next()).value();
+        }
+        simd::dot4_mod_p(a.data(), bs[0].data(), bs[1].data(), bs[2].data(),
+                         bs[3].data(), n, init, got);
+        simd::scalar::dot4_mod_p(a.data(), bs[0].data(), bs[1].data(),
+                                 bs[2].data(), bs[3].data(), n, init, sc);
+        for (int k = 0; k < 4; ++k) {
+          Fp ref(init[k]);
+          for (std::size_t i = 0; i < n; ++i) ref += a[i] * bs[k][i];
+          ASSERT_EQ(ref.value(), got[k])
+              << "n=" << n << " shape=" << shape << " lane=" << k;
+          ASSERT_EQ(ref.value(), sc[k])
+              << "n=" << n << " shape=" << shape << " lane=" << k;
+        }
+      }
+}
+
 TEST(SimdKernels, FnmaModP) {
   Rng rng(0x51D5);
   for (int shape = 0; shape < 3; ++shape)
