@@ -30,6 +30,7 @@
 #include "common/simd.h"
 #include "crypto/shamir.h"
 #include "net/network.h"
+#include "net/scheduler.h"
 #include "sampler/sampler.h"
 
 #include "legacy_baseline.h"
@@ -416,6 +417,44 @@ Comparison compare_network_round() {
   c.legacy_ns = time_ns_per_op(
       [&] { run_round(lnet, legacy::make_value_payload); });
   c.current_ns = time_ns_per_op([&] { run_round(net, make_value_payload); });
+  return c;
+}
+
+Comparison compare_scheduler_overhead() {
+  // The cost of the partial-synchrony machinery itself: the same
+  // scrambled round as network_round_delivery, lockstep ("legacy") vs a
+  // bounded-delay scheduler at delta_max = 0 ("current") — every draw is
+  // below(1) == 0, the merge is an identity, and delivery is
+  // byte-identical (pinned by the parity suite), so the ratio isolates
+  // the pure per-envelope overhead of the delay draw plus the
+  // per-receiver merge check. Advisory: a model-fidelity price tag, not
+  // an optimization target.
+  constexpr std::size_t kN = 4096, kFanout = 4;
+  constexpr std::size_t kStride = 1597;  // coprime to 4096
+  Network lockstep(kN, kN / 3);
+  Network delayed(kN, kN / 3);
+  SchedulerConfig cfg;
+  cfg.mode = SchedulerMode::kBoundedDelay;
+  cfg.delta_max = 0;
+  cfg.seed = 42;
+  delayed.set_scheduler(cfg);
+  const auto run_round = [&](Network& n2) {
+    for (std::size_t i = 0; i < kN; ++i) {
+      const auto p = static_cast<std::uint32_t>((i * kStride) % kN);
+      for (std::size_t j = 0; j < kFanout; ++j) {
+        const auto to =
+            static_cast<std::uint32_t>((p * 2654435761u + 977u * j) % kN);
+        n2.send(p, to, make_value_payload(1, p, 1));
+      }
+    }
+    n2.advance_round();
+  };
+  Comparison c;
+  c.name = "scheduler_overhead";
+  c.params = "n=4096 fanout=4 bounded_delay delta_max=0 vs lockstep";
+  c.advisory = true;
+  c.legacy_ns = time_ns_per_op([&] { run_round(lockstep); });
+  c.current_ns = time_ns_per_op([&] { run_round(delayed); });
   return c;
 }
 
@@ -963,6 +1002,7 @@ int write_comparison_json() {
   // Written on every host (advisory): the single-core degenerate case is
   // an honest ~1.0x row, not a misleading committed baseline.
   comps.push_back(compare_expose_open_parallel());
+  comps.push_back(compare_scheduler_overhead());
   Pool::set_threads(0);  // restore the environment default
   const auto heavy = read_heavy_runs();
 

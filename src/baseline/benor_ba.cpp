@@ -10,7 +10,8 @@ constexpr std::uint64_t kNoProposal = 2;  // "?" in Ben-Or's phase 2
 
 BaselineResult run_benor_ba(Network& net, Adversary& adversary,
                             const std::vector<std::uint8_t>& inputs,
-                            std::uint64_t seed, std::size_t max_rounds) {
+                            std::uint64_t seed, std::size_t max_rounds,
+                            std::size_t grace) {
   const std::size_t n = net.size();
   BA_REQUIRE(inputs.size() == n, "one input per processor");
   adversary.on_start(net);
@@ -39,28 +40,44 @@ BaselineResult run_benor_ba(Network& net, Adversary& adversary,
     for (ProcId q = 0; q < n; ++q)
       if (q != p) net.send(p, q, make_value_payload(tag, v, 2));
   };
-  auto tally = [&](ProcId p, std::uint32_t tag, std::size_t values,
-                   std::vector<std::size_t>& counts) {
-    counts.assign(values, 0);
-    for (const auto& env : net.inbox(p, tag)) {
-      if (env.payload.words.empty()) continue;
-      counts[env.payload.words[0] % values] += 1;
+  // One phase's tallies, accumulated over 1 + grace delivery rounds. The
+  // send-round filter keeps a delayed straggler from an earlier phase of
+  // the same tag out of this phase's counts (at grace = 0 every arrival
+  // carries this phase's send round, so the filter — and the whole
+  // helper — reduces to the historical single-round tally).
+  std::vector<std::vector<std::size_t>> phase_counts(n);
+  auto tally_phase = [&](std::uint32_t tag, std::size_t values,
+                         std::uint64_t send_round) {
+    for (ProcId p = 0; p < n; ++p) phase_counts[p].assign(values, 0);
+    for (std::size_t g = 0;; ++g) {
+      for (ProcId p = 0; p < n; ++p) {
+        if (net.is_corrupt(p)) continue;
+        for (const auto& env : net.inbox(p, tag)) {
+          if (env.payload.words.empty()) continue;
+          if (env.round != send_round) continue;
+          phase_counts[p][env.payload.words[0] % values] += 1;
+        }
+      }
+      if (g == grace) break;
+      adversary.on_rush(net, net.round());
+      net.advance_round();
     }
   };
 
   std::size_t r = 0;
-  std::vector<std::size_t> counts;
   for (; r < max_rounds; ++r) {
     // Phase 1: broadcast current value; propose a value seen from a
     // > (n + t) / 2 super-majority.
+    std::uint64_t send_round = net.round();
     for (ProcId p = 0; p < n; ++p)
       if (!net.is_corrupt(p)) broadcast(p, kTagVote, value[p]);
     adversary.on_rush(net, net.round());
     net.advance_round();
+    tally_phase(kTagVote, 2, send_round);
     std::vector<std::uint64_t> proposal(n, kNoProposal);
     for (ProcId p = 0; p < n; ++p) {
       if (net.is_corrupt(p)) continue;
-      tally(p, kTagVote, 2, counts);
+      auto& counts = phase_counts[p];
       counts[value[p]] += 1;  // own vote
       for (std::uint64_t b = 0; b < 2; ++b)
         if (2 * counts[b] > n + t) proposal[p] = b;
@@ -68,14 +85,16 @@ BaselineResult run_benor_ba(Network& net, Adversary& adversary,
 
     // Phase 2: broadcast proposals; adopt with t+1 support, decide with
     // 2t+1, otherwise flip a local coin.
+    send_round = net.round();
     for (ProcId p = 0; p < n; ++p)
       if (!net.is_corrupt(p)) broadcast(p, kTagProp, proposal[p]);
     adversary.on_rush(net, net.round());
     net.advance_round();
+    tally_phase(kTagProp, 3, send_round);
     bool all_decided = true;
     for (ProcId p = 0; p < n; ++p) {
       if (net.is_corrupt(p)) continue;
-      tally(p, kTagProp, 3, counts);
+      auto& counts = phase_counts[p];
       counts[proposal[p]] += 1;
       std::uint64_t best = counts[0] >= counts[1] ? 0 : 1;
       if (counts[best] >= 2 * t + 1) {

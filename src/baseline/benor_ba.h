@@ -19,8 +19,19 @@ namespace ba {
 /// Run Ben-Or for up to `max_rounds` (stops once every good processor has
 /// decided). Returns the usual baseline metrics; `agreement_fraction`
 /// counts procs whose current value matches the good majority.
+///
+/// `grace` adapts the driver to a bounded-delay network (see
+/// net/scheduler.h): each phase waits `grace` extra network rounds and
+/// accumulates arrivals of that phase's tag across the whole window,
+/// filtered by send round so a straggler never bleeds into the wrong
+/// phase. Ben-Or's thresholds only ever *add* support from late votes —
+/// this is exactly the protocol's celebrated asynchrony tolerance — so
+/// with grace >= the scheduler's delta_max every vote lands and the
+/// protocol still decides. grace=0 is byte-identical to the historical
+/// lockstep driver.
 BaselineResult run_benor_ba(Network& net, Adversary& adversary,
                             const std::vector<std::uint8_t>& inputs,
-                            std::uint64_t seed, std::size_t max_rounds);
+                            std::uint64_t seed, std::size_t max_rounds,
+                            std::size_t grace = 0);
 
 }  // namespace ba

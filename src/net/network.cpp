@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/pool.h"
+#include "net/scheduler.h"
 
 namespace ba {
 
@@ -36,6 +37,18 @@ Network::Network(std::size_t n, std::size_t max_corrupt)
   BA_REQUIRE(max_corrupt < n, "adversary cannot own every processor");
 }
 
+Network::~Network() = default;
+
+void Network::set_scheduler(const SchedulerConfig& cfg) {
+  BA_REQUIRE(round_ == 0 && pending_log_.empty(),
+             "scheduler must be installed before any traffic is staged");
+  if (cfg.mode == SchedulerMode::kLockstep) {
+    scheduler_.reset();
+    return;
+  }
+  scheduler_ = std::make_unique<DelayScheduler>(cfg, n_);
+}
+
 void Network::corrupt(ProcId p) {
   BA_REQUIRE(p < n_, "processor id out of range");
   if (corrupt_[p]) return;
@@ -57,7 +70,8 @@ void Network::send(ProcId from, ProcId to, Payload payload) {
   e.to = to;
   e.round = round_;
   e.payload = std::move(payload);
-  const PendingRef ref{to, static_cast<std::uint32_t>(bucket.size() - 1)};
+  const PendingRef ref{to, static_cast<std::uint32_t>(bucket.size() - 1),
+                       round_};
   pending_log_.push_back(ref);
   if (corrupt_count_ != 0 && !visible_dirty_ &&
       (corrupt_[from] || corrupt_[to]))
@@ -92,6 +106,12 @@ void Network::deliver_bucket(ProcId p, DeliveryScratch& s) {
   in.clear();
   spans.clear();
   auto& stage = staging_[p];
+  // Partial synchrony: fold p's scheduler state into the staged bucket —
+  // delayed sends leave for the future queue, due arrivals merge in front
+  // — before the empty check, since a quiet round can still have due
+  // traffic landing. Touches only p-indexed scheduler state (the delay
+  // draws already happened in advance_round's serial pre-pass).
+  if (scheduler_) scheduler_->merge_bucket(p, stage, round_);
   if (stage.empty()) {
     // Stream-and-release: an idle receiver whose buffers still hold a
     // past spike's capacity returns it now instead of pinning peak RSS
@@ -144,9 +164,10 @@ void Network::deliver_bucket(ProcId p, DeliveryScratch& s) {
   // the run. The 4x hysteresis plus the small-buffer floor keep normal
   // round-to-round jitter from ever triggering a release; the policy
   // depends only on this receiver's own traffic, so delivery stays a
-  // pure per-receiver function (worker-count independent).
+  // pure per-receiver function (worker-count independent). The inbox
+  // release runs at the END of delivery, after any mixed-tag swap, so
+  // the policy evaluates the buffer that actually becomes the inbox.
   release_if_oversized(stage, delivered);
-  release_if_oversized(in, in.size());
   if (uniform_tag) {
     spans.push_back({first_tag, 0, static_cast<std::uint32_t>(in.size())});
   } else {
@@ -186,11 +207,22 @@ void Network::deliver_bucket(ProcId p, DeliveryScratch& s) {
       s.tag_scratch[s.touched_tags[slot].second++] = std::move(e);
     }
     in.swap(s.tag_scratch);
+    // The swap parked the receiver's old inbox block in per-worker
+    // scratch; bound its retention, or one receiver's spike capacity
+    // migrates to whichever receiver this worker delivers next and peak
+    // RSS becomes a function of the worker schedule.
+    release_if_oversized(s.tag_scratch, delivered);
   }
+  release_if_oversized(in, in.size());
 }
 
 void Network::advance_round() {
   flush_charge_batch();
+  // Partial synchrony: the one serial pass that consumes scheduler
+  // randomness — a delay draw per staged envelope, in global send order —
+  // runs before the fan-out so the per-receiver merges are draw-free
+  // (the same discipline as the share flows' pre-drawn randomness).
+  if (scheduler_) scheduler_->draw_delays(pending_log_);
   if (delivery_scratch_.size() < Pool::num_threads())
     delivery_scratch_.resize(Pool::num_threads());
   // Per-receiver buckets are independent after staging: fan delivery out
@@ -220,6 +252,12 @@ TaggedInbox Network::inbox(ProcId p, std::uint32_t tag) const {
 }
 
 std::vector<PendingRef> Network::pending_visible_to_adversary() const {
+  // Rushing scheduler: private channels collapse — the adversary's view
+  // is the whole send log (already in global send order), honest traffic
+  // included, one round before its earliest possible delivery. Envelopes
+  // in scheduler custody (delayed past their send round) are never
+  // offered: refs die at advance_round() by the round-stamp contract.
+  if (scheduler_ && scheduler_->rushes()) return pending_log_;
   if (visible_dirty_) {
     // Replay the send log so the rebuilt view keeps global send order —
     // identical to what incremental maintenance would have produced had

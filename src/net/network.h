@@ -8,7 +8,10 @@
 //    adversary may inspect exactly those envelopes that touch a corrupted
 //    endpoint (`pending_visible_to_adversary`).
 //  * Synchrony: messages sent in round r are delivered at the start of
-//    round r+1 (after `advance_round`).
+//    round r+1 (after `advance_round`). set_scheduler() relaxes this to a
+//    bounded-delay partial-synchrony model — per-envelope delivery delays
+//    in [0, delta_max], optional reordering and rushing — seeded and
+//    deterministic under the same parity contract (net/scheduler.h).
 //  * Rushing: protocol drivers make good processors send first each round,
 //    then invoke the adversary, which may read its visible pending traffic
 //    and inject messages from corrupted processors in the *same* round.
@@ -62,6 +65,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/message.h"
@@ -69,13 +73,20 @@
 
 namespace ba {
 
+class DelayScheduler;
+struct SchedulerConfig;
+
 /// Stable handle to a pending (undelivered) envelope. Unlike a raw
 /// pointer, a PendingRef stays valid while the rushing adversary injects
 /// more traffic via send() in the same round: it indexes into the
-/// receiver's staging bucket, which only ever grows within a round.
+/// receiver's staging bucket, which only ever grows within a round. The
+/// handle is round-stamped: it dies loudly at the next advance_round()
+/// instead of silently resolving to whatever the next round staged at
+/// the same index.
 struct PendingRef {
   ProcId to = 0;
   std::uint32_t index = 0;
+  std::uint64_t round = 0;  ///< round the envelope was staged in
 };
 
 /// Contiguous view of one round's delivered envelopes carrying a single
@@ -94,6 +105,18 @@ class Network {
  public:
   /// n processors, at most `max_corrupt` of which may ever be corrupted.
   Network(std::size_t n, std::size_t max_corrupt);
+  ~Network();
+
+  /// Install an adversarial delay scheduler (net/scheduler.h) turning the
+  /// lockstep rounds into a bounded-delay partial-synchrony model. Must
+  /// run before any traffic is staged (round 0, nothing pending). A
+  /// kLockstep config is a no-op: no scheduler state is ever allocated,
+  /// so the synchronous hot path costs exactly what it always did.
+  void set_scheduler(const SchedulerConfig& cfg);
+
+  /// The installed scheduler (delay stats, config), or nullptr when the
+  /// network is lockstep-synchronous.
+  const DelayScheduler* scheduler() const { return scheduler_.get(); }
 
   std::size_t size() const { return n_; }
   std::uint64_t round() const { return round_; }
@@ -148,9 +171,13 @@ class Network {
   /// them with pending_envelope().
   std::vector<PendingRef> pending_visible_to_adversary() const;
 
-  /// Resolve a handle from pending_visible_to_adversary().
+  /// Resolve a handle from pending_visible_to_adversary(). The round
+  /// stamp makes staleness loud: a handle held across advance_round()
+  /// whose index happens to be in range for the next round's staging
+  /// must trip the contract check, not alias a different envelope.
   const Envelope& pending_envelope(PendingRef r) const {
-    BA_REQUIRE(r.to < n_ && r.index < staging_[r.to].size(),
+    BA_REQUIRE(r.round == round_ && r.to < n_ &&
+                   r.index < staging_[r.to].size(),
                "stale or out-of-range pending reference");
     return staging_[r.to][r.index];
   }
@@ -217,6 +244,9 @@ class Network {
   mutable std::uint64_t batch_msgs_ = 0;
   mutable std::uint64_t batch_bits_ = 0;
   mutable BitLedger ledger_;
+  // Partial-synchrony mode (net/scheduler.h); null in lockstep mode so
+  // the synchronous delivery path carries zero scheduler overhead.
+  std::unique_ptr<DelayScheduler> scheduler_;
 };
 
 }  // namespace ba

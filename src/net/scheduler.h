@@ -1,0 +1,130 @@
+// Adversarial delay scheduler: partial-synchrony network models on top of
+// the lockstep-synchronous round simulator (net/network.h).
+//
+// King–Saia's model is synchronous — every message sent in round r arrives
+// at the start of round r+1 — but the hardest follow-up axis for
+// sub-quadratic BA is relaxed timing (see "Asynchronous and
+// partial-synchrony network models" in ROADMAP.md). The scheduler bounds
+// that relaxation by a delay budget: each staged envelope is assigned a
+// delivery delay in [0, delta_max] rounds, drawn from Rng(scheduler_seed),
+// and held in a per-receiver future queue until its due round. delta_max=0
+// degenerates to lockstep byte for byte (every draw is below(1) == 0), so
+// the entire existing parity baseline doubles as the scheduler's own
+// delta_max=0 regression oracle.
+//
+// Modes:
+//  * kLockstep     — no scheduler; Network never allocates one.
+//  * kBoundedDelay — per-envelope random delay in [0, delta_max].
+//  * kReorderRush  — bounded delay, plus within-round arrival reordering
+//    and rushing: with rush_depth >= 1 the adversary's pending view is the
+//    *entire* round's traffic (private channels collapse — it sees honest
+//    messages one round before their earliest delivery), not just the
+//    corrupt-endpoint envelopes. The simulator stages exactly one round of
+//    pending traffic, so the depth saturates at 1; the knob is a size_t so
+//    deeper look-ahead pipelines can extend it without a spec change.
+//
+// Determinism contract (the parity suite extends verbatim): delay draws
+// happen in ONE serial pass over the global send log, in global send
+// order, before the delivery fan-out — the parallel per-receiver merge is
+// draw-free. Reorder shuffles use a per-(round, receiver) stream forked
+// from Rng(seed) — the same salt/fork discipline as the streaming sendOpen
+// garbage streams — so every receiver's merged bucket is a pure function
+// of (scheduler seed, round, receiver, its own traffic) and runs are
+// byte-identical at any worker count.
+//
+// Delivery-order canon: arrivals due in a round are merged *in front of*
+// the round's on-time traffic, in (send round, global send order) — older
+// sends first. The merged bucket then flows through the normal counting
+// sort, so inboxes keep their (tag, sender) lexicographic contract; what
+// delay and reorder observably change is which round a message lands in
+// and the relative order of same-(tag, sender) duplicates.
+//
+// Custody rule: once advance_round() moves an envelope into a future
+// queue, it is no longer pending in its send round — PendingRef handles
+// never reach scheduler custody (they are stale after advance_round(),
+// and pending_envelope round-stamps them loudly), and the rushing
+// adversary reads traffic only while it is staged in its send round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/network.h"
+
+namespace ba {
+
+enum class SchedulerMode {
+  kLockstep,      ///< synchronous; Network keeps no scheduler state
+  kBoundedDelay,  ///< random per-envelope delay in [0, delta_max]
+  kReorderRush,   ///< bounded delay + arrival reordering + rushing view
+};
+
+struct SchedulerConfig {
+  SchedulerMode mode = SchedulerMode::kLockstep;
+  std::size_t delta_max = 0;   ///< max extra delivery rounds per envelope
+  std::uint64_t seed = 0;      ///< delay-draw / reorder-shuffle stream
+  std::size_t rush_depth = 0;  ///< kReorderRush: >=1 shows all pending
+};
+
+/// Serial-pass counters (updated only by draw_delays, read after a run).
+struct SchedulerStats {
+  std::uint64_t scheduled = 0;  ///< envelopes that received a delay draw
+  std::uint64_t delayed = 0;    ///< draws with delay > 0
+  std::uint64_t max_delay = 0;  ///< largest delay drawn
+};
+
+class DelayScheduler {
+ public:
+  /// n receivers; cfg.mode must not be kLockstep (lockstep means "no
+  /// scheduler object at all" — see Network::set_scheduler).
+  DelayScheduler(const SchedulerConfig& cfg, std::size_t n);
+
+  const SchedulerConfig& config() const { return cfg_; }
+  const SchedulerStats& stats() const { return stats_; }
+
+  /// True when the adversary's pending view is the whole send log.
+  bool rushes() const {
+    return cfg_.mode == SchedulerMode::kReorderRush && cfg_.rush_depth > 0;
+  }
+
+  /// Driver-side serial pre-pass: one delay draw per staged envelope, in
+  /// global send order (`log` is Network's pending log). Must run before
+  /// the delivery fan-out of the round that is about to advance.
+  void draw_delays(const std::vector<PendingRef>& log);
+
+  /// Per-receiver merge, run from the delivery fan-out (touches only
+  /// p-indexed scheduler state plus `stage`): peels this round's delayed
+  /// sends out of `stage` into p's future queue, pulls arrivals due at
+  /// round+1 in front of the on-time traffic, and — in kReorderRush —
+  /// shuffles the merged arrival order with the per-(round, p) forked
+  /// stream. Draw-free with respect to the shared delay generator.
+  void merge_bucket(ProcId p, std::vector<Envelope>& stage,
+                    std::uint64_t round);
+
+  /// Envelopes currently held in future queues (serial read; sums the
+  /// per-receiver queues).
+  std::uint64_t in_flight() const;
+
+ private:
+  struct Delayed {
+    std::uint64_t due = 0;  ///< round at whose start the envelope lands
+    Envelope env;
+  };
+
+  SchedulerConfig cfg_;
+  std::size_t n_;
+  Rng rng_;           ///< serial delay draws (global send order)
+  Rng shuffle_base_;  ///< forked per (round, receiver) for reordering
+  SchedulerStats stats_;
+  /// Per-receiver delay marks for the round being advanced, aligned with
+  /// the staging bucket (written serially by draw_delays, consumed and
+  /// cleared by that receiver's merge_bucket).
+  std::vector<std::vector<std::uint32_t>> marks_;
+  /// Per-receiver future-round queue, insertion-ordered: appends happen
+  /// in (send round, global send order), so the due subsequence is
+  /// already in delivery canon when merge_bucket extracts it.
+  std::vector<std::vector<Delayed>> future_;
+};
+
+}  // namespace ba

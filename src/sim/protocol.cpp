@@ -17,6 +17,7 @@
 #include "core/global_coin.h"
 #include "core/universe_reduction.h"
 #include "graph/regular_graph.h"
+#include "net/scheduler.h"
 
 namespace ba::sim {
 
@@ -101,6 +102,29 @@ void mix_run_ledger(RunDigest& d, const Network& net) {
 
 namespace {
 
+/// Install the spec's delay scheduler on a freshly built network. Every
+/// adapter calls this right after constructing its Network, before any
+/// traffic is staged; seed shifts with the trial offset like every other
+/// randomness stream. Lockstep specs never allocate scheduler state.
+void apply_scheduler(Network& net, const ScenarioSpec& s, std::uint64_t off) {
+  if (s.scheduler == SchedulerKind::kLockstep) return;
+  SchedulerConfig cfg;
+  cfg.mode = s.scheduler == SchedulerKind::kBoundedDelay
+                 ? SchedulerMode::kBoundedDelay
+                 : SchedulerMode::kReorderRush;
+  cfg.delta_max = s.delta_max;
+  cfg.seed = s.scheduler_seed + off;
+  cfg.rush_depth = s.rush_depth;
+  net.set_scheduler(cfg);
+}
+
+/// Ben-Or's per-phase grace window: wait out the scheduler's worst-case
+/// delay so every vote still lands in its phase's tally (see
+/// baseline/benor_ba.h). Lockstep runs keep the historical grace of 0.
+std::size_t benor_grace(const ScenarioSpec& s) {
+  return s.scheduler == SchedulerKind::kLockstep ? 0 : s.delta_max;
+}
+
 /// The ledger summary every adapter reports (good-processor cost).
 void fill_ledger_totals(RunReport& r, const Network& net) {
   const BitLedger& ledger = net.ledger();
@@ -109,6 +133,19 @@ void fill_ledger_totals(RunReport& r, const Network& net) {
   r.max_bits_good = ledger.max_bits_sent(mask, false);
   r.total_bits_good = ledger.total_bits_sent(mask, false);
   r.total_msgs_good = ledger.total_msgs_sent(mask, false);
+  // Delay-scheduler diagnostics — only when a scheduler is installed, so
+  // lockstep reports (and their committed golden JSON) are untouched.
+  // Extras are never fingerprinted; the delay draws themselves already
+  // shape the fingerprint through inbox contents and the ledger.
+  if (const DelayScheduler* sched = net.scheduler()) {
+    const SchedulerStats& st = sched->stats();
+    r.extras.emplace_back("sched_msgs", static_cast<double>(st.scheduled));
+    r.extras.emplace_back("sched_delayed", static_cast<double>(st.delayed));
+    r.extras.emplace_back("sched_max_delay",
+                          static_cast<double>(st.max_delay));
+    r.extras.emplace_back("sched_in_flight_end",
+                          static_cast<double>(sched->in_flight()));
+  }
 }
 
 RunReport base_report(const ScenarioSpec& s, ProtocolKind kind) {
@@ -126,6 +163,7 @@ class EverywhereProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
+    apply_scheduler(net, s, off);
     auto adversary = make_adversary(s, off);
     auto inputs = make_bit_inputs(s, off);
     EverywhereBA proto(tournament_params(s), A2EParams::laptop_scale(s.n),
@@ -218,6 +256,7 @@ class AlmostEverywhereProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
+    apply_scheduler(net, s, off);
     auto adversary = make_adversary(s, off);
     auto inputs = make_bit_inputs(s, off);
     AlmostEverywhereBA proto(tournament_params(s), s.protocol_seed + off);
@@ -281,6 +320,7 @@ class AebaProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
+    apply_scheduler(net, s, off);
     Rng gr(s.graph_seed + off);
     const std::size_t degree =
         s.aeba_degree != 0
@@ -384,10 +424,11 @@ class BenOrProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
+    apply_scheduler(net, s, off);
     auto adversary = make_adversary(s, off);
     BaselineResult res =
         run_benor_ba(net, *adversary, make_bit_inputs(s, off),
-                     s.protocol_seed + off, s.max_rounds);
+                     s.protocol_seed + off, s.max_rounds, benor_grace(s));
     return baseline_report(s, kind(), res, net);
   }
 };
@@ -398,6 +439,7 @@ class RabinProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
+    apply_scheduler(net, s, off);
     auto adversary = make_adversary(s, off);
     SharedRandomCoins coins(Rng(s.coin_seed + off));
     BaselineResult res = run_rabin_ba(net, *adversary,
@@ -415,6 +457,7 @@ class A2EProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
+    apply_scheduler(net, s, off);
     auto adversary = make_adversary(s, off);
     adversary->on_start(net);  // historical wiring corrupts before setup
     std::vector<std::uint64_t> beliefs(s.n, 0);
@@ -500,6 +543,7 @@ class UniverseReductionProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
+    apply_scheduler(net, s, off);
     auto adversary = make_adversary(s, off);
     UniverseReduction reduction(tournament_params(s), s.committee_size,
                                 s.protocol_seed + off);
@@ -545,6 +589,7 @@ class ProcessorElectionProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
+    apply_scheduler(net, s, off);
     auto adversary = make_adversary(s, off);
     ProtocolParams params = tournament_params(s);
     ProcessorElectionBA proto(params.tree, params.w, s.protocol_seed + off);

@@ -48,6 +48,12 @@ constexpr EnumName kLabelNames[] = {
     {static_cast<int>(LabelRule::kLinear), "linear"},
 };
 
+constexpr EnumName kSchedulerNames[] = {
+    {static_cast<int>(SchedulerKind::kLockstep), "lockstep"},
+    {static_cast<int>(SchedulerKind::kBoundedDelay), "bounded_delay"},
+    {static_cast<int>(SchedulerKind::kReorderRush), "reorder_rush"},
+};
+
 template <std::size_t N>
 const char* enum_name(const EnumName (&table)[N], int value) {
   for (const auto& e : table)
@@ -104,6 +110,9 @@ const char* to_string(InputPattern p) {
 const char* to_string(LabelRule r) {
   return enum_name(kLabelNames, static_cast<int>(r));
 }
+const char* to_string(SchedulerKind k) {
+  return enum_name(kSchedulerNames, static_cast<int>(k));
+}
 
 #define BA_SIM_WITH(method, type, field)            \
   ScenarioSpec ScenarioSpec::method(type v) const { \
@@ -141,6 +150,10 @@ BA_SIM_WITH(with_bad_coin_fraction, double, bad_coin_fraction)
 BA_SIM_WITH(with_max_rounds, std::size_t, max_rounds)
 BA_SIM_WITH(with_a2e_repeats, std::size_t, a2e_repeats)
 BA_SIM_WITH(with_truth_message, std::uint64_t, truth_message)
+BA_SIM_WITH(with_scheduler, SchedulerKind, scheduler)
+BA_SIM_WITH(with_delta_max, std::size_t, delta_max)
+BA_SIM_WITH(with_rush_depth, std::size_t, rush_depth)
+BA_SIM_WITH(with_scheduler_seed, std::uint64_t, scheduler_seed)
 
 #undef BA_SIM_WITH
 
@@ -188,6 +201,10 @@ std::vector<std::pair<std::string, std::string>> ScenarioSpec::to_kv() const {
   add("label_seed", std::to_string(label_seed));
   add("a2e_repeats", std::to_string(a2e_repeats));
   add("truth_message", std::to_string(truth_message));
+  add("scheduler", to_string(scheduler));
+  add("delta_max", std::to_string(delta_max));
+  add("rush_depth", std::to_string(rush_depth));
+  add("scheduler_seed", std::to_string(scheduler_seed));
   return kv;
 }
 
@@ -237,6 +254,11 @@ void ScenarioSpec::apply(const std::string& key, const std::string& value) {
   else if (key == "label_seed") label_seed = parse_u64(value);
   else if (key == "a2e_repeats") a2e_repeats = parse_size(value);
   else if (key == "truth_message") truth_message = parse_u64(value);
+  else if (key == "scheduler")
+    scheduler = static_cast<SchedulerKind>(enum_value(kSchedulerNames, value));
+  else if (key == "delta_max") delta_max = parse_size(value);
+  else if (key == "rush_depth") rush_depth = parse_size(value);
+  else if (key == "scheduler_seed") scheduler_seed = parse_u64(value);
   else
     BA_REQUIRE(false, "unknown scenario spec key");
 }
@@ -701,6 +723,55 @@ void register_experiments(std::vector<ScenarioSpec>& out) {
   }
 }
 
+/// Partial-synchrony configurations (net/scheduler.h): the same protocol
+/// configs as above but under an adversarial delay scheduler. The
+/// delta_max points are chosen from the committed degradation sweep
+/// (docs/ARCHITECTURE.md): everywhere BA absorbs small delays (A2E
+/// repairs the tournament damage), loses all-good agreement by
+/// delta_max = 12 at n = 64, while Ben-Or — run with a matching grace
+/// window — still decides unanimously, the classic asynchrony-tolerance
+/// contrast the scheduler exists to exhibit.
+void register_scheduler(std::vector<ScenarioSpec>& out) {
+  // Derive from already-registered specs (the registry singleton is still
+  // under construction here — ScenarioRegistry::get would recurse).
+  auto base = [&out](const char* name) -> const ScenarioSpec& {
+    for (const auto& s : out)
+      if (s.name == name) return s;
+    BA_REQUIRE(false, "scheduler scenarios derive from registered specs");
+    return out.front();
+  };
+  const ScenarioSpec benor_base = base("e9_benor_small");
+  const ScenarioSpec everywhere_base = base("quickstart").with_n(64);
+  out.push_back(benor_base.with_name("benor_delay")
+                    .with_scheduler(SchedulerKind::kBoundedDelay)
+                    .with_delta_max(2)
+                    .with_scheduler_seed(5));
+  out.back().note =
+      "Ben-Or under bounded delay (delta_max = 2, grace window): still "
+      "decides unanimously";
+  out.push_back(benor_base.with_name("benor_rush")
+                    .with_scheduler(SchedulerKind::kReorderRush)
+                    .with_delta_max(2)
+                    .with_rush_depth(1)
+                    .with_scheduler_seed(5));
+  out.back().note =
+      "Ben-Or vs delay + reorder + rushing adversary view of all traffic";
+  out.push_back(everywhere_base.with_name("everywhere_delay")
+                    .with_scheduler(SchedulerKind::kBoundedDelay)
+                    .with_delta_max(2)
+                    .with_scheduler_seed(5));
+  out.back().note =
+      "everywhere BA absorbs a small bounded delay: tournament agreement "
+      "sags, A2E repairs it";
+  out.push_back(everywhere_base.with_name("everywhere_delay_break")
+                    .with_scheduler(SchedulerKind::kBoundedDelay)
+                    .with_delta_max(12)
+                    .with_scheduler_seed(5));
+  out.back().note =
+      "the synchrony assumption matters: delta_max = 12 breaks all-good "
+      "agreement at n = 64";
+}
+
 /// Adversary-matrix base cells (tests/adversary_matrix_test.cpp): the
 /// test swaps the adversary kind and fraction per cell and shifts seeds
 /// with the cell index.
@@ -760,6 +831,7 @@ std::vector<ScenarioSpec> build_registry() {
   std::vector<ScenarioSpec> out;
   register_examples(out);
   register_experiments(out);
+  register_scheduler(out);
   register_matrix(out);
   return out;
 }

@@ -66,10 +66,19 @@ enum class LabelRule {
   kLinear,    ///< loop * 2654435761 (the E1 phase-split wiring)
 };
 
+/// Network timing model (net/scheduler.h): lockstep synchrony, or an
+/// adversarial delay scheduler seeded by scheduler_seed.
+enum class SchedulerKind {
+  kLockstep,      ///< synchronous rounds (the paper's model; no overhead)
+  kBoundedDelay,  ///< per-message delivery delay in [0, delta_max]
+  kReorderRush,   ///< bounded delay + reordering + rushing adversary view
+};
+
 const char* to_string(ProtocolKind k);
 const char* to_string(AdversaryKind k);
 const char* to_string(InputPattern p);
 const char* to_string(LabelRule r);
+const char* to_string(SchedulerKind k);
 
 struct ScenarioSpec {
   std::string name;  ///< registry key; also the report's scenario field
@@ -123,6 +132,15 @@ struct ScenarioSpec {
   std::size_t a2e_repeats = 0;  ///< 0 = A2EParams::laptop_scale default
   std::uint64_t truth_message = 1;
 
+  // ---- network scheduler (partial synchrony; net/scheduler.h) ----
+  // delta_max=0 under bounded_delay is byte-identical to lockstep (the
+  // parity suite pins it); Ben-Or runs get a per-phase grace window of
+  // delta_max extra rounds so its asynchrony tolerance actually shows.
+  SchedulerKind scheduler = SchedulerKind::kLockstep;
+  std::size_t delta_max = 0;   ///< max per-message delivery delay (rounds)
+  std::size_t rush_depth = 0;  ///< reorder_rush: >=1 shows all pending
+  std::uint64_t scheduler_seed = 0;
+
   // ---- fluent builder (value-returning: spec.with_n(64).with_... ) ----
   ScenarioSpec with_name(std::string v) const;
   ScenarioSpec with_n(std::size_t v) const;
@@ -153,6 +171,10 @@ struct ScenarioSpec {
   ScenarioSpec with_max_rounds(std::size_t v) const;
   ScenarioSpec with_a2e_repeats(std::size_t v) const;
   ScenarioSpec with_truth_message(std::uint64_t v) const;
+  ScenarioSpec with_scheduler(SchedulerKind v) const;
+  ScenarioSpec with_delta_max(std::size_t v) const;
+  ScenarioSpec with_rush_depth(std::size_t v) const;
+  ScenarioSpec with_scheduler_seed(std::uint64_t v) const;
 
   // ---- serialization ----
   /// Every field as "key=value", one pair per field, in declaration

@@ -110,6 +110,55 @@ TEST(Network, PendingRefsSurviveAdversarialInjection) {
   EXPECT_EQ(net.pending_envelope(held).from, 0u);
 }
 
+TEST(Network, StalePendingRefsDieLoudlyAcrossRounds) {
+  // Regression: a handle held across advance_round() used to resolve
+  // silently to whatever the next round staged at the same index. The
+  // round stamp makes the staleness a contract violation instead.
+  Network net(4, 1);
+  net.corrupt(1);
+  net.send(0, 1, make_value_payload(7, 5, 4));
+  auto visible = net.pending_visible_to_adversary();
+  ASSERT_EQ(visible.size(), 1u);
+  const PendingRef held = visible[0];
+  net.advance_round();
+  // Stage a different envelope at the very same (receiver, index) slot:
+  // the stale handle's index is in range, so only the round stamp can
+  // tell the two apart.
+  net.send(2, 1, make_value_payload(7, 99, 4));
+  EXPECT_THROW(net.pending_envelope(held), std::logic_error);
+  // A fresh handle to the new round's envelope still resolves.
+  auto fresh = net.pending_visible_to_adversary();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(net.pending_envelope(fresh[0]).payload.words[0], 99u);
+}
+
+TEST(Network, MixedTagSpikeCapacityIsReleasedAfterTheSwap) {
+  // Regression for the delivery-path release bug: the mixed-tag
+  // redistribution swaps the inbox with per-worker scratch, and the
+  // release policy used to run *before* the swap — so the buffer that
+  // actually became the inbox was never evaluated, the old inbox block
+  // (spike-sized) parked in scratch, and that capacity migrated to
+  // whichever receiver the worker delivered next. Post-fix, a small
+  // mixed-tag round after a spike must come out with a small inbox.
+  Network net(2, 1);  // n <= 64: all delivery on one worker, one scratch
+  const std::size_t kSpike = 5000;
+  for (std::size_t i = 0; i < kSpike; ++i)
+    net.send(1, 0, make_value_payload(10 + (i % 2), i, 16));
+  net.advance_round();
+  ASSERT_EQ(net.inbox(0).size(), kSpike);
+  // Small mixed-tag round through the same worker's scratch.
+  net.send(1, 0, make_value_payload(10, 1, 16));
+  net.send(1, 0, make_value_payload(11, 2, 16));
+  net.advance_round();
+  ASSERT_EQ(net.inbox(0).size(), 2u);
+  EXPECT_EQ(net.inbox(0)[0].payload.tag, 10u);
+  EXPECT_EQ(net.inbox(0)[0].payload.words[0], 1u);
+  EXPECT_EQ(net.inbox(0)[1].payload.tag, 11u);
+  EXPECT_EQ(net.inbox(0)[1].payload.words[0], 2u);
+  EXPECT_LE(net.inbox(0).capacity(), 1024u)
+      << "spike capacity survived the mixed-tag swap";
+}
+
 TEST(Network, MidRoundCorruptionRevealsPendingTraffic) {
   // Adaptive takeover mid-round: traffic queued while an endpoint was
   // still good becomes visible once that endpoint is corrupted.

@@ -137,6 +137,88 @@ TEST(ParallelParity, UniverseReduction) {
                 0x14958ab45c47fe76ULL);
 }
 
+// ---------------------------------------- partial-synchrony scenarios --
+
+TEST(ParallelParity, BoundedDelayBenOr) {
+  // Ben-Or under the bounded-delay scheduler (delta_max = 2 with the
+  // matching grace window): delayed votes still reach their phase's
+  // tally, so the protocol decides unanimously. The delay draws are a
+  // serial pre-pass and the per-receiver merges are draw-free, so the
+  // worker count must stay unobservable.
+  expect_parity("benor_delay",
+                registry_scenario(ScenarioRegistry::get("benor_delay")),
+                0x788f2115ce4705c1ULL);
+}
+
+TEST(ParallelParity, ReorderRushBenOr) {
+  // The full adversarial mode: delay + within-round reordering + the
+  // rushing view of all pending traffic. Reordering only permutes
+  // same-(tag, sender) duplicates after the counting sort, and Ben-Or
+  // sends one message per (sender, tag) pair — so this pin equals the
+  // bounded-delay one. That equality is itself part of the contract.
+  expect_parity("benor_rush",
+                registry_scenario(ScenarioRegistry::get("benor_rush")),
+                0x788f2115ce4705c1ULL);
+}
+
+TEST(ParallelParity, BoundedDelayEverywhere) {
+  // Everywhere BA absorbing a small delay (tournament agreement sags,
+  // A2E repairs it) — the deepest protocol stack under the scheduler.
+  expect_parity("everywhere_delay",
+                registry_scenario(
+                    ScenarioRegistry::get("everywhere_delay")),
+                0x3ef4b0f1cd39254bULL);
+}
+
+TEST(ParallelParity, BoundedDelayEverywhereBreakPoint) {
+  // The degradation point the registry pins: delta_max = 12 at n = 64
+  // breaks all-good agreement (see docs/ARCHITECTURE.md). Broken-synchrony
+  // runs must be exactly as reproducible as healthy ones.
+  expect_parity("everywhere_delay_break",
+                registry_scenario(
+                    ScenarioRegistry::get("everywhere_delay_break")),
+                0xcd44c217f4751eccULL);
+}
+
+TEST(ParallelParity, ReorderRushEverywhere) {
+  // Reorder + rush over the everywhere stack (not a registry entry: the
+  // registry pins the bounded-delay pair; this pins the third mode).
+  expect_parity("everywhere_rush",
+                registry_scenario(ScenarioRegistry::get("quickstart")
+                                      .with_n(64)
+                                      .with_scheduler(
+                                          sim::SchedulerKind::kReorderRush)
+                                      .with_delta_max(2)
+                                      .with_rush_depth(1)
+                                      .with_scheduler_seed(5)),
+                0xc391c546c996a099ULL);
+}
+
+TEST(ParallelParity, DeltaZeroSchedulerReproducesLockstepPins) {
+  // delta_max = 0 must be byte-identical to lockstep REGARDLESS of the
+  // scheduler seed: every draw is below(1) == 0, the merge is an
+  // identity, and the grace window is zero rounds. Sweeping the seed
+  // against the committed lockstep constants proves the scheduler path
+  // adds no observable state of its own.
+  for (std::uint64_t seed : {1ULL, 7ULL, 0xDEADBEEFULL}) {
+    expect_parity("quickstart_delta0",
+                  registry_scenario(
+                      ScenarioRegistry::get("quickstart")
+                          .with_n(64)
+                          .with_scheduler(sim::SchedulerKind::kBoundedDelay)
+                          .with_delta_max(0)
+                          .with_scheduler_seed(seed)),
+                  0xcc0336754bc0c7c2ULL);
+    expect_parity("benor_delta0",
+                  registry_scenario(
+                      ScenarioRegistry::get("e9_benor_small")
+                          .with_scheduler(sim::SchedulerKind::kBoundedDelay)
+                          .with_delta_max(0)
+                          .with_scheduler_seed(seed)),
+                  0x77de7115cdb0ef05ULL);
+  }
+}
+
 // ------------------------------------------ harness-level scenarios --
 
 std::uint64_t run_share_flow_e8() {
