@@ -38,6 +38,17 @@ void DelayScheduler::draw_delays(const std::vector<PendingRef>& log) {
   // a push_back per ref rebuilds the bucket-aligned mark array while the
   // draws stay in global send order (the one serial pass; the delivery
   // fan-out below is draw-free).
+  // delta_max = 0: every draw is below(1) == 0, and rng_ feeds nothing
+  // but delay draws (the reorder shuffle forks from shuffle_base_), so
+  // the whole per-envelope pass — draw, alignment check, mark push — can
+  // be skipped without changing any observable byte. marks_ stays empty,
+  // which also turns merge_bucket's peel into a no-op; only the scheduled
+  // counter must still advance. This is what makes bounded_delay at
+  // delta_max=0 cost ≈ lockstep (the scheduler_overhead bench row).
+  if (cfg_.delta_max == 0) {
+    stats_.scheduled += log.size();
+    return;
+  }
   const std::uint64_t bound = static_cast<std::uint64_t>(cfg_.delta_max) + 1;
   for (const PendingRef& r : log) {
     const auto d = static_cast<std::uint32_t>(rng_.below(bound));

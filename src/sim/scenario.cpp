@@ -1,5 +1,6 @@
 #include "sim/scenario.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -260,13 +261,23 @@ void ScenarioSpec::apply(const std::string& key, const std::string& value) {
   else if (key == "rush_depth") rush_depth = parse_size(value);
   else if (key == "scheduler_seed") scheduler_seed = parse_u64(value);
   else
-    BA_REQUIRE(false, "unknown scenario spec key");
+    BA_REQUIRE(false, "unknown scenario spec key: " + key);
 }
 
 ScenarioSpec ScenarioSpec::from_kv(
     const std::vector<std::pair<std::string, std::string>>& kv) {
   ScenarioSpec spec;
-  for (const auto& [key, value] : kv) spec.apply(key, value);
+  // Hard errors on duplicates (last-wins would make a sweep/fuzz artifact
+  // ambiguous) and on unknown keys (apply throws) — a spec line either
+  // reconstructs exactly one spec or refuses loudly.
+  std::vector<std::string> seen;
+  seen.reserve(kv.size());
+  for (const auto& [key, value] : kv) {
+    BA_REQUIRE(std::find(seen.begin(), seen.end(), key) == seen.end(),
+               "duplicate scenario spec key: " + key);
+    seen.push_back(key);
+    spec.apply(key, value);
+  }
   return spec;
 }
 

@@ -145,5 +145,79 @@ TEST_F(AdversaryMatrixTest, GreedyStrategiesAreClampedToBudget) {
   }
 }
 
+// ------------------------------------------------- scheduler matrix --
+// The ROADMAP's open (protocol × scheduler mode × delta_max) matrix:
+// partial synchrony must degrade the way PR 8 pinned it — agreement
+// non-increasing as delta_max grows, validity 1 throughout, and
+// delta_max = 0 byte-identical to lockstep (the scheduler fast path).
+
+constexpr std::size_t kDeltas[] = {0, 2, 8};
+
+sim::RunReport run_sched_cell(const ScenarioSpec& base,
+                              sim::SchedulerKind mode, std::size_t delta) {
+  return sim::run_scenario(base.with_scheduler(mode)
+                               .with_delta_max(delta)
+                               .with_rush_depth(1)
+                               .with_scheduler_seed(5));
+}
+
+TEST_F(AdversaryMatrixTest, SchedulerMatrixEverywhereDegradesGracefully) {
+  const ScenarioSpec base = ScenarioRegistry::get("matrix_everywhere");
+  for (sim::SchedulerKind mode : {sim::SchedulerKind::kBoundedDelay,
+                                  sim::SchedulerKind::kReorderRush}) {
+    double prev_agreement = 1.0;
+    for (std::size_t delta : kDeltas) {
+      SCOPED_TRACE(std::string(sim::to_string(mode)) + " delta_max=" +
+                   std::to_string(delta));
+      const sim::RunReport r = run_sched_cell(base, mode, delta);
+      EXPECT_EQ(r.validity, 1);
+      EXPECT_EQ(r.decided_bit, 1);
+      // Phase-1 agreement erodes with the delay bound but never jumps
+      // back up, and A2E still repairs the stragglers at these deltas.
+      EXPECT_LE(r.agreement_fraction, prev_agreement + 1e-12);
+      EXPECT_GE(r.agreement_fraction, 0.9);
+      EXPECT_EQ(r.all_good_agree, 1);
+      prev_agreement = r.agreement_fraction;
+    }
+  }
+}
+
+TEST_F(AdversaryMatrixTest, SchedulerMatrixBenOrKeepsAgreementUnderGrace) {
+  // Ben-Or gets a per-phase grace window of delta_max extra rounds, so
+  // its asynchrony tolerance actually shows: full agreement and validity
+  // at every delta, in both adversarial modes.
+  const ScenarioSpec base = ScenarioRegistry::get("matrix_benor");
+  for (sim::SchedulerKind mode : {sim::SchedulerKind::kBoundedDelay,
+                                  sim::SchedulerKind::kReorderRush}) {
+    for (std::size_t delta : kDeltas) {
+      SCOPED_TRACE(std::string(sim::to_string(mode)) + " delta_max=" +
+                   std::to_string(delta));
+      const sim::RunReport r = run_sched_cell(base, mode, delta);
+      EXPECT_EQ(r.validity, 1);
+      EXPECT_EQ(r.decided_bit, 1);
+      EXPECT_EQ(r.all_good_agree, 1);
+      EXPECT_DOUBLE_EQ(r.agreement_fraction, 1.0);
+    }
+  }
+}
+
+TEST_F(AdversaryMatrixTest, SchedulerDeltaZeroIsByteIdenticalToLockstep) {
+  // delta_max = 0 must not just behave like lockstep — it must be
+  // observably byte-identical (every delay draw would be below(1) == 0),
+  // which is what lets the scheduler skip the per-envelope path there.
+  for (const char* scenario : {"matrix_everywhere", "matrix_benor"}) {
+    SCOPED_TRACE(scenario);
+    const ScenarioSpec base = ScenarioRegistry::get(scenario);
+    const sim::RunReport lockstep = sim::run_scenario(base);
+    const sim::RunReport delayed = sim::run_scenario(
+        base.with_scheduler(sim::SchedulerKind::kBoundedDelay)
+            .with_delta_max(0)
+            .with_scheduler_seed(5));
+    EXPECT_EQ(lockstep.fingerprint, delayed.fingerprint);
+    EXPECT_EQ(lockstep.rounds, delayed.rounds);
+    EXPECT_EQ(lockstep.max_bits_good, delayed.max_bits_good);
+  }
+}
+
 }  // namespace
 }  // namespace ba

@@ -79,6 +79,35 @@ TEST(ScenarioSpec, ApplyRejectsUnknownKeysAndBadBooleans) {
   EXPECT_EQ(spec.adversary, sim::AdversaryKind::kCrash);
 }
 
+TEST(ScenarioSpec, FromKvRejectsDuplicateKeys) {
+  // A duplicated key must not last-win: a sweep/fuzz artifact line has to
+  // reconstruct exactly one spec or refuse loudly.
+  auto kv = ScenarioRegistry::get("quickstart").to_kv();
+  kv.emplace_back("n", "32");
+  try {
+    ScenarioSpec::from_kv(kv);
+    FAIL() << "duplicate key accepted";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate scenario spec key: n"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioSpec, FromKvRejectsUnknownKeysByName) {
+  auto kv = ScenarioRegistry::get("quickstart").to_kv();
+  kv.emplace_back("no_such_knob", "1");
+  try {
+    ScenarioSpec::from_kv(kv);
+    FAIL() << "unknown key accepted";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(
+        std::string(e.what()).find("unknown scenario spec key: no_such_knob"),
+        std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ScenarioSpec, BuilderOverridesRoundTrip) {
   // A builder-derived spec (the parity suite's derivation idiom) still
   // round-trips, and the fluent overrides land in the serialized form.

@@ -13,9 +13,16 @@
 // table. `--no-timing` omits wall_ms for byte-stable output (the golden
 // form). Environment defaults: BA_SEEDS, BA_WORKERS, BA_JSON=1,
 // BA_SCENARIO; BA_THREADS still controls the ambient pool size.
+//
+//   ba_run --jobs-file <path>     # sweep-shard worker mode
+//
+// reads sweep job lines ("seed_offset=K key=value ..."; sim/sweep.h) and
+// emits one NDJSON report per job — the child-process half of ba_sweep's
+// sharding, and the manual way to replay any job-line artifact.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,6 +31,7 @@
 #include "common/table.h"
 #include "sim/protocol.h"
 #include "sim/scenario.h"
+#include "sim/sweep.h"
 
 namespace {
 
@@ -37,8 +45,9 @@ int usage(const char* argv0) {
       "usage: %s --list [--heavy]\n"
       "       %s --describe <scenario>\n"
       "       %s (--scenario <name> | --all) [--seeds N] [--workers K]\n"
-      "          [--set key=value ...] [--json] [--no-timing]\n",
-      argv0, argv0, argv0);
+      "          [--set key=value ...] [--json] [--no-timing]\n"
+      "       %s --jobs-file <path> [--no-timing]\n",
+      argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -67,7 +76,7 @@ void print_table(const std::vector<RunReport>& reports) {
 int main(int argc, char** argv) {
   bool list = false, heavy = false, all = false, json = false;
   bool timing = true;
-  std::string scenario_name, describe_name;
+  std::string scenario_name, describe_name, jobs_file;
   std::size_t seeds = 1, workers = 0;
   std::vector<std::string> overrides;
 
@@ -92,6 +101,7 @@ int main(int argc, char** argv) {
     else if (arg == "--no-timing") timing = false;
     else if (arg == "--scenario") scenario_name = next();
     else if (arg == "--describe") describe_name = next();
+    else if (arg == "--jobs-file") jobs_file = next();
     else if (arg == "--seeds") seeds = std::strtoul(next(), nullptr, 10);
     else if (arg == "--workers") workers = std::strtoul(next(), nullptr, 10);
     else if (arg == "--set") overrides.emplace_back(next());
@@ -111,6 +121,34 @@ int main(int argc, char** argv) {
     }
     for (const auto& [key, value] : spec->to_kv())
       std::printf("%s=%s\n", key.c_str(), value.c_str());
+    return 0;
+  }
+  if (!jobs_file.empty()) {
+    // Shard-worker mode: one NDJSON report per job line, in file order.
+    // Blank lines and '#' comments are skipped so hand-edited replay
+    // files stay convenient.
+    std::ifstream in(jobs_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open jobs file: %s\n", jobs_file.c_str());
+      return 1;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#') continue;
+      try {
+        const ba::sim::SweepJob job = ba::sim::parse_job_line(line);
+        const RunReport report =
+            ba::sim::run_scenario(job.spec, job.seed_offset);
+        report.write_json(std::cout, timing);
+        std::cout << '\n';
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s:%zu: %s\n", jobs_file.c_str(), lineno,
+                     e.what());
+        return 1;
+      }
+    }
     return 0;
   }
   if (scenario_name.empty() && !all) return usage(argv[0]);
