@@ -5,6 +5,9 @@
 #include "common/check.h"
 #include "common/pool.h"
 #include "net/scheduler.h"
+#include "transport/transport.h"
+
+#include <ostream>
 
 namespace ba {
 
@@ -49,6 +52,20 @@ void Network::set_scheduler(const SchedulerConfig& cfg) {
   scheduler_ = std::make_unique<DelayScheduler>(cfg, n_);
 }
 
+void Network::set_transport(Transport* t) {
+  BA_REQUIRE(round_ == 0 && pending_log_.empty(),
+             "transport must be attached before any traffic is staged");
+  transport_ = t;
+  if (transport_) transport_->on_attach(n_);
+}
+
+void Network::set_transcript(TranscriptCapture* t) {
+  BA_REQUIRE(round_ == 0 && pending_log_.empty(),
+             "transcript capture must be attached before any traffic");
+  transcript_ = t;
+  if (transcript_) transcript_->reset(n_);
+}
+
 void Network::corrupt(ProcId p) {
   BA_REQUIRE(p < n_, "processor id out of range");
   if (corrupt_[p]) return;
@@ -76,6 +93,10 @@ void Network::send(ProcId from, ProcId to, Payload payload) {
   if (corrupt_count_ != 0 && !visible_dirty_ &&
       (corrupt_[from] || corrupt_[to]))
     visible_.push_back(ref);
+  // The backend sees every staged envelope at the serialization point —
+  // global send order, driver-side — so a socket backend can encode into
+  // the receiver-owner's buffer immediately.
+  if (transport_) transport_->on_send(e);
 }
 
 void Network::charge_bulk(ProcId from, ProcId to, std::size_t content_bits) {
@@ -214,10 +235,42 @@ void Network::deliver_bucket(ProcId p, DeliveryScratch& s) {
     release_if_oversized(s.tag_scratch, delivered);
   }
   release_if_oversized(in, in.size());
+  if (transcript_) {
+    // Per-receiver transcript slot — disjoint across pool workers, the
+    // same contract as the inbox itself. Digest the delivered stream in
+    // inbox order (the order protocols consume), so loopback and socket
+    // runs of the same seed produce identical per-processor digests.
+    Fnv1a& d = transcript_->digests[p];
+    d.mix(round_);
+    d.mix(in.size());
+    for (const Envelope& e : in) {
+      d.mix(e.from);
+      d.mix(e.round);
+      d.mix(e.payload.tag);
+      d.mix(e.payload.content_bits);
+      d.mix(e.payload.words.size());
+      for (std::uint64_t w : e.payload.words) d.mix(w);
+    }
+    transcript_->envelopes[p] += in.size();
+    if (transcript_->dump && p == transcript_->dump_proc) {
+      for (const Envelope& e : in)
+        *transcript_->dump << "r=" << round_ << " to=" << p
+                           << " from=" << e.from << " tag=" << e.payload.tag
+                           << " bits=" << e.payload.content_bits
+                           << " words=" << e.payload.words.size() << '\n';
+    }
+  }
 }
 
 void Network::advance_round() {
   flush_charge_batch();
+  // Transport round barrier: a socket backend flushes and reconciles the
+  // round's wire traffic against the staged buckets here — before the
+  // scheduler's delay pre-pass and the delivery fan-out, so both operate
+  // on the post-reconciliation (wire-authoritative) staging exactly as
+  // they would on the locally staged envelopes.
+  if (transport_) transport_->sync_round(round_, staging_);
+  if (transcript_) transcript_->rounds += 1;
   // Partial synchrony: the one serial pass that consumes scheduler
   // randomness — a delay draw per staged envelope, in global send order —
   // runs before the fan-out so the per-receiver merges are draw-free

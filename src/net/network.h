@@ -75,6 +75,8 @@ namespace ba {
 
 class DelayScheduler;
 struct SchedulerConfig;
+class Transport;
+struct TranscriptCapture;
 
 /// Stable handle to a pending (undelivered) envelope. Unlike a raw
 /// pointer, a PendingRef stays valid while the rushing adversary injects
@@ -117,6 +119,20 @@ class Network {
   /// The installed scheduler (delay stats, config), or nullptr when the
   /// network is lockstep-synchronous.
   const DelayScheduler* scheduler() const { return scheduler_.get(); }
+
+  /// Attach a transport backend (transport/transport.h): one on_send
+  /// callback per staged envelope and one sync_round barrier per
+  /// advance_round, invoked before any delivery. Must run before traffic
+  /// is staged; the network does not own the backend. No backend attached
+  /// means the historical in-process behavior, bit for bit.
+  void set_transport(Transport* t);
+  Transport* transport() const { return transport_; }
+
+  /// Attach a per-processor delivered-message transcript capture (reset
+  /// to this network's size). Deliveries digest into it from the pool
+  /// workers — per-receiver slots, the same disjointness contract as the
+  /// inboxes — so loopback and socket runs produce comparable digests.
+  void set_transcript(TranscriptCapture* t);
 
   std::size_t size() const { return n_; }
   std::uint64_t round() const { return round_; }
@@ -247,6 +263,10 @@ class Network {
   // Partial-synchrony mode (net/scheduler.h); null in lockstep mode so
   // the synchronous delivery path carries zero scheduler overhead.
   std::unique_ptr<DelayScheduler> scheduler_;
+  // Transport backend + transcript capture (transport/transport.h); not
+  // owned, null in the historical in-process configuration.
+  Transport* transport_ = nullptr;
+  TranscriptCapture* transcript_ = nullptr;
 };
 
 }  // namespace ba

@@ -18,6 +18,7 @@
 #include "core/universe_reduction.h"
 #include "graph/regular_graph.h"
 #include "net/scheduler.h"
+#include "transport/transport.h"
 
 namespace ba::sim {
 
@@ -118,6 +119,27 @@ void apply_scheduler(Network& net, const ScenarioSpec& s, std::uint64_t off) {
   net.set_scheduler(cfg);
 }
 
+/// Full network configuration for one run: the spec's delay scheduler
+/// plus whatever the ambient RunEnv injects (transport/transport.h) — a
+/// transport backend and/or a transcript capture. A spec asking for the
+/// tcp backend refuses to run bare: the socket endpoint exists only
+/// inside a ba_node process, which installs it via ScopedRunEnv. The
+/// loopback spec value runs with or without an environment (ba_launch's
+/// in-process oracle installs a LoopbackTransport to get comparable
+/// frame/byte accounting).
+void configure_network(Network& net, const ScenarioSpec& s,
+                       std::uint64_t off) {
+  apply_scheduler(net, s, off);
+  const RunEnv* env = current_run_env();
+  if (s.transport == TransportKind::kTcp)
+    BA_REQUIRE(env != nullptr && env->transport != nullptr,
+               "transport=tcp needs a socket endpoint installed via "
+               "ScopedRunEnv — run this spec through ba_node/ba_launch");
+  if (env == nullptr) return;
+  if (env->transport != nullptr) net.set_transport(env->transport);
+  if (env->transcript != nullptr) net.set_transcript(env->transcript);
+}
+
 /// Ben-Or's per-phase grace window: wait out the scheduler's worst-case
 /// delay so every vote still lands in its phase's tally (see
 /// baseline/benor_ba.h). Lockstep runs keep the historical grace of 0.
@@ -146,6 +168,25 @@ void fill_ledger_totals(RunReport& r, const Network& net) {
     r.extras.emplace_back("sched_in_flight_end",
                           static_cast<double>(sched->in_flight()));
   }
+  // Transport accounting — only when a backend is attached, so reports
+  // from plain in-process runs (and their committed golden JSON) are
+  // untouched. Never fingerprinted: backend choice must not move the
+  // parity digest.
+  if (const Transport* t = net.transport()) {
+    const TransportStats& ts = t->stats();
+    r.extras.emplace_back("transport_frames_sent",
+                          static_cast<double>(ts.frames_sent));
+    r.extras.emplace_back("transport_frames_recv",
+                          static_cast<double>(ts.frames_recv));
+    r.extras.emplace_back("transport_bytes_sent",
+                          static_cast<double>(ts.bytes_sent));
+    r.extras.emplace_back("transport_bytes_recv",
+                          static_cast<double>(ts.bytes_recv));
+    r.extras.emplace_back("transport_envelopes_local",
+                          static_cast<double>(ts.envelopes_local));
+    r.extras.emplace_back("transport_rounds_synced",
+                          static_cast<double>(ts.rounds_synced));
+  }
 }
 
 RunReport base_report(const ScenarioSpec& s, ProtocolKind kind) {
@@ -163,7 +204,7 @@ class EverywhereProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
-    apply_scheduler(net, s, off);
+    configure_network(net, s, off);
     auto adversary = make_adversary(s, off);
     auto inputs = make_bit_inputs(s, off);
     EverywhereBA proto(tournament_params(s), A2EParams::laptop_scale(s.n),
@@ -256,7 +297,7 @@ class AlmostEverywhereProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
-    apply_scheduler(net, s, off);
+    configure_network(net, s, off);
     auto adversary = make_adversary(s, off);
     auto inputs = make_bit_inputs(s, off);
     AlmostEverywhereBA proto(tournament_params(s), s.protocol_seed + off);
@@ -320,7 +361,7 @@ class AebaProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
-    apply_scheduler(net, s, off);
+    configure_network(net, s, off);
     Rng gr(s.graph_seed + off);
     const std::size_t degree =
         s.aeba_degree != 0
@@ -424,7 +465,7 @@ class BenOrProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
-    apply_scheduler(net, s, off);
+    configure_network(net, s, off);
     auto adversary = make_adversary(s, off);
     BaselineResult res =
         run_benor_ba(net, *adversary, make_bit_inputs(s, off),
@@ -439,7 +480,7 @@ class RabinProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
-    apply_scheduler(net, s, off);
+    configure_network(net, s, off);
     auto adversary = make_adversary(s, off);
     SharedRandomCoins coins(Rng(s.coin_seed + off));
     BaselineResult res = run_rabin_ba(net, *adversary,
@@ -457,7 +498,7 @@ class A2EProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
-    apply_scheduler(net, s, off);
+    configure_network(net, s, off);
     auto adversary = make_adversary(s, off);
     adversary->on_start(net);  // historical wiring corrupts before setup
     std::vector<std::uint64_t> beliefs(s.n, 0);
@@ -543,7 +584,7 @@ class UniverseReductionProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
-    apply_scheduler(net, s, off);
+    configure_network(net, s, off);
     auto adversary = make_adversary(s, off);
     UniverseReduction reduction(tournament_params(s), s.committee_size,
                                 s.protocol_seed + off);
@@ -589,7 +630,7 @@ class ProcessorElectionProtocol final : public Protocol {
 
   RunReport run(const ScenarioSpec& s, std::uint64_t off) const override {
     Network net(s.n, s.n / s.budget_div);
-    apply_scheduler(net, s, off);
+    configure_network(net, s, off);
     auto adversary = make_adversary(s, off);
     ProtocolParams params = tournament_params(s);
     ProcessorElectionBA proto(params.tree, params.w, s.protocol_seed + off);

@@ -55,6 +55,11 @@ constexpr EnumName kSchedulerNames[] = {
     {static_cast<int>(SchedulerKind::kReorderRush), "reorder_rush"},
 };
 
+constexpr EnumName kTransportNames[] = {
+    {static_cast<int>(TransportKind::kLoopback), "loopback"},
+    {static_cast<int>(TransportKind::kTcp), "tcp"},
+};
+
 template <std::size_t N>
 const char* enum_name(const EnumName (&table)[N], int value) {
   for (const auto& e : table)
@@ -114,6 +119,9 @@ const char* to_string(LabelRule r) {
 const char* to_string(SchedulerKind k) {
   return enum_name(kSchedulerNames, static_cast<int>(k));
 }
+const char* to_string(TransportKind k) {
+  return enum_name(kTransportNames, static_cast<int>(k));
+}
 
 #define BA_SIM_WITH(method, type, field)            \
   ScenarioSpec ScenarioSpec::method(type v) const { \
@@ -155,6 +163,7 @@ BA_SIM_WITH(with_scheduler, SchedulerKind, scheduler)
 BA_SIM_WITH(with_delta_max, std::size_t, delta_max)
 BA_SIM_WITH(with_rush_depth, std::size_t, rush_depth)
 BA_SIM_WITH(with_scheduler_seed, std::uint64_t, scheduler_seed)
+BA_SIM_WITH(with_transport, TransportKind, transport)
 
 #undef BA_SIM_WITH
 
@@ -206,6 +215,7 @@ std::vector<std::pair<std::string, std::string>> ScenarioSpec::to_kv() const {
   add("delta_max", std::to_string(delta_max));
   add("rush_depth", std::to_string(rush_depth));
   add("scheduler_seed", std::to_string(scheduler_seed));
+  add("transport", to_string(transport));
   return kv;
 }
 
@@ -260,6 +270,8 @@ void ScenarioSpec::apply(const std::string& key, const std::string& value) {
   else if (key == "delta_max") delta_max = parse_size(value);
   else if (key == "rush_depth") rush_depth = parse_size(value);
   else if (key == "scheduler_seed") scheduler_seed = parse_u64(value);
+  else if (key == "transport")
+    transport = static_cast<TransportKind>(enum_value(kTransportNames, value));
   else
     BA_REQUIRE(false, "unknown scenario spec key: " + key);
 }

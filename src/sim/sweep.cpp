@@ -123,10 +123,11 @@ std::vector<SweepJob> expand_grid(const std::vector<GridAxis>& axes) {
 std::vector<GridAxis> default_grid() {
   std::vector<GridAxis> g;
   // The exponent-fit family: everywhere BA (the full Thm 1 pipeline) over
-  // a decade of n. The aggregator fits max-bits-per-processor vs n on
-  // this scenario's medians.
-  g.push_back({"quickstart", {}, {16, 24, 32, 48, 64, 96, 128, 192, 256},
-               {}, 6});
+  // a decade and a half of n. The aggregator fits max-bits-per-processor
+  // vs n on this scenario's medians; the 384/512 points anchor the tail
+  // where the polylog factors stop dominating the √n term.
+  g.push_back({"quickstart", {},
+               {16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512}, {}, 6});
   // Worker axis: parity pins byte-identical reports across pool widths;
   // relabeled so the duplicate metrics do not fold into the fit family.
   g.push_back({"quickstart", {{"name", "quickstart_workers"}}, {64}, {1, 2},

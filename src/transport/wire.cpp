@@ -1,0 +1,273 @@
+#include "transport/wire.h"
+
+#include <cstring>
+
+namespace ba::transport {
+
+namespace {
+
+// ---- little-endian writers ------------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+// ---- strict little-endian reader ------------------------------------------
+
+/// Cursor over one frame body. Every read throws on underrun; done()
+/// throws on trailing bytes — a body decodes to exactly one layout or
+/// refuses.
+struct Cursor {
+  const std::uint8_t* p;
+  std::size_t left;
+  const char* what;
+
+  void need(std::size_t k) {
+    if (left < k)
+      throw WireError(std::string("truncated ") + what + " frame");
+  }
+  std::uint8_t u8() {
+    need(1);
+    --left;
+    return *p++;
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(p[0]) |
+                      static_cast<std::uint16_t>(p[1]) << 8;
+    p += 2;
+    left -= 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    left -= 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    left -= 8;
+    return v;
+  }
+  void done() {
+    if (left != 0)
+      throw WireError(std::string("oversized ") + what +
+                      " frame: " + std::to_string(left) + " trailing bytes");
+  }
+};
+
+/// Begin a frame: write the 4-byte length placeholder + opcode, return the
+/// placeholder's offset for patch_len.
+std::size_t begin_frame(std::vector<std::uint8_t>& out, Opcode op) {
+  const std::size_t at = out.size();
+  put_u32(out, 0);
+  put_u8(out, static_cast<std::uint8_t>(op));
+  return at;
+}
+
+void patch_len(std::vector<std::uint8_t>& out, std::size_t at) {
+  const std::size_t body = out.size() - at - kLenPrefixBytes;
+  for (int i = 0; i < 4; ++i)
+    out[at + i] = static_cast<std::uint8_t>(body >> (8 * i));
+}
+
+}  // namespace
+
+void encode(std::vector<std::uint8_t>& out, const HelloFrame& f) {
+  const std::size_t at = begin_frame(out, Opcode::kHello);
+  put_u32(out, f.magic);
+  put_u16(out, f.version);
+  put_u32(out, f.node_id);
+  put_u32(out, f.nodes);
+  put_u32(out, f.n);
+  put_u64(out, f.config_digest);
+  patch_len(out, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const EnvelopeFrame& f) {
+  const std::size_t at = begin_frame(out, Opcode::kEnvelope);
+  put_u32(out, f.from);
+  put_u32(out, f.to);
+  put_u64(out, f.round);
+  put_u32(out, f.tag);
+  put_u64(out, f.content_bits);
+  put_u32(out, static_cast<std::uint32_t>(f.words.size()));
+  for (std::uint64_t w : f.words) put_u64(out, w);
+  patch_len(out, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const RoundDoneFrame& f) {
+  const std::size_t at = begin_frame(out, Opcode::kRoundDone);
+  put_u64(out, f.round);
+  put_u32(out, f.count);
+  put_u64(out, f.digest);
+  patch_len(out, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const ByeFrame& f) {
+  const std::size_t at = begin_frame(out, Opcode::kBye);
+  put_u32(out, static_cast<std::uint32_t>(f.decided));
+  put_u64(out, f.fingerprint);
+  put_u64(out, f.transcript_digest);
+  patch_len(out, at);
+}
+
+EnvelopeFrame make_envelope_frame(const Envelope& e) {
+  EnvelopeFrame f;
+  f.from = e.from;
+  f.to = e.to;
+  f.round = e.round;
+  f.tag = e.payload.tag;
+  f.content_bits = e.payload.content_bits;
+  f.words = e.payload.words;
+  return f;
+}
+
+void mix_envelope_frame(Fnv1a& d, const EnvelopeFrame& f) {
+  d.mix(f.from);
+  d.mix(f.to);
+  d.mix(f.round);
+  d.mix(f.tag);
+  d.mix(f.content_bits);
+  d.mix(f.words.size());
+  for (std::uint64_t w : f.words) d.mix(w);
+}
+
+Opcode peek_opcode(const std::uint8_t* body, std::size_t len) {
+  if (len == 0) throw WireError("empty frame body");
+  const std::uint8_t op = body[0];
+  if (op < static_cast<std::uint8_t>(Opcode::kHello) ||
+      op > static_cast<std::uint8_t>(Opcode::kBye))
+    throw WireError("unknown opcode " + std::to_string(op));
+  return static_cast<Opcode>(op);
+}
+
+HelloFrame decode_hello(const std::uint8_t* body, std::size_t len) {
+  Cursor c{body, len, "hello"};
+  if (c.u8() != static_cast<std::uint8_t>(Opcode::kHello))
+    throw WireError("not a hello frame");
+  HelloFrame f;
+  f.magic = c.u32();
+  if (f.magic != kMagic) throw WireError("bad handshake magic");
+  f.version = c.u16();
+  if (f.version != kWireVersion)
+    throw WireError("wire version mismatch: peer speaks v" +
+                    std::to_string(f.version) + ", this build speaks v" +
+                    std::to_string(kWireVersion));
+  f.node_id = c.u32();
+  f.nodes = c.u32();
+  f.n = c.u32();
+  f.config_digest = c.u64();
+  c.done();
+  return f;
+}
+
+EnvelopeFrame decode_envelope(const std::uint8_t* body, std::size_t len,
+                              std::size_t max_frame_bytes) {
+  Cursor c{body, len, "envelope"};
+  if (c.u8() != static_cast<std::uint8_t>(Opcode::kEnvelope))
+    throw WireError("not an envelope frame");
+  EnvelopeFrame f;
+  f.from = c.u32();
+  f.to = c.u32();
+  f.round = c.u64();
+  f.tag = c.u32();
+  f.content_bits = c.u64();
+  const std::uint32_t nwords = c.u32();
+  // The word count must be consistent with both the frame cap and the
+  // bytes actually present — a corrupt count fails here, never in an
+  // allocation or an out-of-bounds read.
+  if (nwords > max_frame_bytes / 8)
+    throw WireError("envelope word count " + std::to_string(nwords) +
+                    " exceeds frame cap");
+  if (c.left != static_cast<std::size_t>(nwords) * 8)
+    throw WireError(
+        c.left < static_cast<std::size_t>(nwords) * 8
+            ? "truncated envelope frame"
+            : "oversized envelope frame: trailing bytes after payload");
+  f.words.reserve(nwords);
+  for (std::uint32_t i = 0; i < nwords; ++i) f.words.push_back(c.u64());
+  c.done();
+  return f;
+}
+
+RoundDoneFrame decode_round_done(const std::uint8_t* body, std::size_t len) {
+  Cursor c{body, len, "round_done"};
+  if (c.u8() != static_cast<std::uint8_t>(Opcode::kRoundDone))
+    throw WireError("not a round_done frame");
+  RoundDoneFrame f;
+  f.round = c.u64();
+  f.count = c.u32();
+  f.digest = c.u64();
+  c.done();
+  return f;
+}
+
+ByeFrame decode_bye(const std::uint8_t* body, std::size_t len) {
+  Cursor c{body, len, "bye"};
+  if (c.u8() != static_cast<std::uint8_t>(Opcode::kBye))
+    throw WireError("not a bye frame");
+  ByeFrame f;
+  f.decided = static_cast<std::int32_t>(c.u32());
+  f.fingerprint = c.u64();
+  f.transcript_digest = c.u64();
+  c.done();
+  return f;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+  while (buf_.size() - head_ >= kLenPrefixBytes) {
+    std::uint32_t body_len = 0;
+    for (int i = 0; i < 4; ++i)
+      body_len |= static_cast<std::uint32_t>(buf_[head_ + i]) << (8 * i);
+    if (body_len == 0) throw WireError("zero-length frame");
+    if (body_len > max_frame_bytes_)
+      throw WireError("frame length " + std::to_string(body_len) +
+                      " exceeds cap " + std::to_string(max_frame_bytes_));
+    if (buf_.size() - head_ < kLenPrefixBytes + body_len) break;
+    const std::uint8_t* body = buf_.data() + head_ + kLenPrefixBytes;
+    ready_.emplace_back(body, body + body_len);
+    head_ += kLenPrefixBytes + body_len;
+  }
+  // Reclaim the consumed prefix: free when fully drained, compact when the
+  // dead prefix is large enough to matter.
+  if (head_ == buf_.size()) {
+    buf_.clear();
+    head_ = 0;
+  } else if (head_ >= 4096) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+}
+
+bool FrameReader::next(std::vector<std::uint8_t>& body) {
+  if (ready_.empty()) return false;
+  body = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+}  // namespace ba::transport

@@ -1,0 +1,157 @@
+// ba_launch — spawn an N-process distributed BA run on localhost and diff
+// it against the in-process simulator at the same seed.
+//
+//   ba_launch --scenario quickstart --nodes 8
+//   ba_launch --scenario quickstart --nodes 4 --set n=64 --seed-offset 3
+//   ba_launch --scenario quickstart --nodes 8 --require-agreement --json
+//
+// Forks `--nodes` copies of the sibling ba_node binary (one stdout pipe
+// each, hard deadline + SIGKILL for stragglers), collects their
+// RunReports and transcript digests, runs the loopback oracle in-process,
+// and compares every semantic field plus both digests
+// (transport/launch.h). Exit status: 0 on full parity (and, under
+// --require-agreement, all nodes decided with everywhere-agreement);
+// 1 otherwise, with each mismatch and a replayable job line on stderr.
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "sim/scenario.h"
+#include "transport/launch.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --scenario NAME [--nodes N] [--set key=value ...]\n"
+      "          [--seed-offset S] [--port-base P] [--timeout-ms T]\n"
+      "          [--node-bin PATH] [--json] [--timing]\n"
+      "          [--require-agreement]\n",
+      argv0);
+  return 2;
+}
+
+/// Absolute path of the sibling ba_node binary (same directory as this
+/// executable, resolved through /proc/self/exe).
+std::string sibling_ba_node() {
+  char buf[PATH_MAX];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (len <= 0) return "ba_node";
+  buf[len] = '\0';
+  std::string path(buf);
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "ba_node"
+                                    : path.substr(0, slash + 1) + "ba_node";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ba::transport::LaunchConfig cfg;
+  std::string scenario;
+  std::vector<std::string> overrides;
+  bool json = false, require_agreement = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario") scenario = next();
+    else if (arg == "--nodes") cfg.nodes = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--set") overrides.emplace_back(next());
+    else if (arg == "--seed-offset")
+      cfg.seed_offset = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--port-base")
+      cfg.port_base = static_cast<std::uint16_t>(
+          std::strtoul(next(), nullptr, 10));
+    else if (arg == "--timeout-ms")
+      cfg.timeout_ms = static_cast<int>(std::strtol(next(), nullptr, 10));
+    else if (arg == "--node-bin") cfg.node_bin = next();
+    else if (arg == "--json") json = true;
+    else if (arg == "--timing") cfg.timing = true;
+    else if (arg == "--require-agreement") require_agreement = true;
+    else return usage(argv[0]);
+  }
+  if (scenario.empty()) return usage(argv[0]);
+  if (cfg.node_bin.empty()) cfg.node_bin = sibling_ba_node();
+
+  try {
+    const ba::sim::ScenarioSpec* found =
+        ba::sim::ScenarioRegistry::find(scenario);
+    if (found == nullptr) {
+      std::fprintf(stderr, "unknown scenario: %s\n", scenario.c_str());
+      return 2;
+    }
+    cfg.spec = *found;
+    for (const std::string& kv : overrides) {
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--set expects key=value, got: %s\n",
+                     kv.c_str());
+        return 2;
+      }
+      cfg.spec.apply(kv.substr(0, eq), kv.substr(eq + 1));
+    }
+
+    std::fprintf(stderr, "launching %zu ba_node processes, scenario %s, "
+                         "n=%zu, seed_offset=%llu\n",
+                 cfg.nodes, scenario.c_str(), cfg.spec.n,
+                 static_cast<unsigned long long>(cfg.seed_offset));
+    const ba::transport::LaunchOutcome out =
+        ba::transport::launch_local(cfg);
+
+    bool all_agree = true;
+    for (const ba::transport::NodeOutcome& node : out.nodes) {
+      if (json && node.parsed) {
+        node.report.write_json(std::cout, cfg.timing);
+        std::cout << '\n';
+      }
+      std::printf("node %u: exit=%d decided=%d all_good_agree=%d "
+                  "rounds=%llu fp=%016llx tr=%016llx%s\n",
+                  node.node_id, node.exit_code, node.report.decided_bit,
+                  node.report.all_good_agree,
+                  static_cast<unsigned long long>(node.report.rounds),
+                  static_cast<unsigned long long>(node.report.fingerprint),
+                  static_cast<unsigned long long>(node.transcript_digest),
+                  node.timed_out ? " (timed out)" : "");
+      if (!node.parsed || node.report.decided_bit < 0 ||
+          node.report.all_good_agree != 1)
+        all_agree = false;
+    }
+    std::printf("oracle: decided=%d all_good_agree=%d rounds=%llu "
+                "fp=%016llx tr=%016llx\n",
+                out.oracle.decided_bit, out.oracle.all_good_agree,
+                static_cast<unsigned long long>(out.oracle.rounds),
+                static_cast<unsigned long long>(out.oracle.fingerprint),
+                static_cast<unsigned long long>(out.oracle_transcript));
+
+    if (!out.parity()) {
+      for (const std::string& err : out.errors)
+        std::fprintf(stderr, "PARITY-FAIL: %s\n", err.c_str());
+      return 1;
+    }
+    if (require_agreement && !all_agree) {
+      std::fprintf(stderr, "AGREEMENT-FAIL: a node did not decide with "
+                           "everywhere-agreement\nreplay: %s\n",
+                   out.job_line.c_str());
+      return 1;
+    }
+    std::printf("PARITY: %zu nodes match the in-process oracle "
+                "(fingerprint + transcript)\n", out.nodes.size());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ba_launch: %s\n", e.what());
+    return 1;
+  }
+}

@@ -23,7 +23,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <climits>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,7 +47,7 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --grid default [--jobs N] [--out runs.ndjson]\n"
-      "          [--ledger BENCH_protocol.json]\n"
+      "          [--ledger BENCH_protocol.json] [--shard-timeout SECONDS]\n"
       "       %s --print-jobs [--grid default]\n"
       "       %s --fuzz COUNT [--seed S | --seed-from-ci] [--ndjson path]\n"
       "       %s --replay 'seed_offset=K key=value ...'\n",
@@ -99,7 +101,7 @@ pid_t spawn_shard(const std::string& ba_run, const std::string& prefix,
 
 int run_grid(const std::string& grid_name, std::size_t jobs_procs,
              const std::string& out_path, const std::string& ledger_path,
-             bool print_jobs) {
+             bool print_jobs, long shard_timeout_s) {
   if (grid_name != "default") {
     std::fprintf(stderr, "unknown grid: %s (only 'default' is defined)\n",
                  grid_name.c_str());
@@ -148,15 +150,51 @@ int run_grid(const std::string& grid_name, std::size_t jobs_procs,
       prefixes.push_back(prefix + ".shard" + std::to_string(s));
       pids.push_back(spawn_shard(ba_run, prefixes.back(), shards[s]));
     }
+    // Reap with a hard deadline instead of a blocking waitpid: a shard
+    // that wedges (or dies) gets SIGKILLed and reported — the merge never
+    // hangs on a child. The failure artifact is the first job line the
+    // shard produced no report for, replayable via `ba_sweep --replay`.
     bool child_failed = false;
-    for (std::size_t s = 0; s < jobs_procs; ++s) {
-      int status = 0;
-      if (::waitpid(pids[s], &status, 0) < 0 ||
-          !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-        std::fprintf(stderr, "shard %zu (pid %d) failed\n", s,
-                     static_cast<int>(pids[s]));
-        child_failed = true;
+    {
+      using Clock = std::chrono::steady_clock;
+      const auto deadline =
+          Clock::now() + std::chrono::seconds(shard_timeout_s);
+      std::vector<int> exit_codes(jobs_procs, -1);
+      std::vector<bool> done(jobs_procs, false), killed(jobs_procs, false);
+      std::size_t live = jobs_procs;
+      while (live > 0) {
+        for (std::size_t s = 0; s < jobs_procs; ++s) {
+          if (done[s]) continue;
+          int status = 0;
+          const pid_t r = ::waitpid(pids[s], &status, WNOHANG);
+          if (r == pids[s]) {
+            exit_codes[s] = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+            done[s] = true;
+            --live;
+          } else if (r < 0) {  // lost to the reaper: treat as failed
+            done[s] = true;
+            --live;
+          }
+        }
+        if (live == 0) break;
+        if (Clock::now() >= deadline) {
+          for (std::size_t s = 0; s < jobs_procs; ++s)
+            if (!done[s] && !killed[s]) {
+              ::kill(pids[s], SIGKILL);
+              killed[s] = true;
+            }
+          // One more WNOHANG sweep will reap the kills; keep looping.
+        }
+        ::usleep(50000);
       }
+      for (std::size_t s = 0; s < jobs_procs; ++s)
+        if (killed[s] || exit_codes[s] != 0) {
+          std::fprintf(stderr, "shard %zu (pid %d) %s\n", s,
+                       static_cast<int>(pids[s]),
+                       killed[s] ? "timed out and was killed"
+                                 : "exited nonzero");
+          child_failed = true;
+        }
     }
     std::vector<std::vector<std::string>> shard_lines(jobs_procs);
     for (std::size_t s = 0; s < jobs_procs; ++s) {
@@ -167,6 +205,15 @@ int run_grid(const std::string& grid_name, std::size_t jobs_procs,
       if (shard_lines[s].size() != shards[s].size()) {
         std::fprintf(stderr, "shard %zu: %zu reports for %zu jobs\n", s,
                      shard_lines[s].size(), shards[s].size());
+        // The job the shard was on (first without a report) is the
+        // replayable failure artifact.
+        if (shard_lines[s].size() < shards[s].size())
+          std::fprintf(stderr, "shard %zu failed at job; replay with:\n"
+                               "  ba_sweep --replay '%s'\n",
+                       s,
+                       ba::sim::format_job_line(
+                           *shards[s][shard_lines[s].size()])
+                           .c_str());
         child_failed = true;
       }
     }
@@ -225,6 +272,7 @@ int run_grid(const std::string& grid_name, std::size_t jobs_procs,
 int main(int argc, char** argv) {
   std::string grid_name, out_path, ledger_path, ndjson_path, replay_line;
   std::size_t jobs_procs = 2;
+  long shard_timeout_s = 3600;
   std::size_t fuzz_count = 0;
   std::uint64_t fuzz_seed = 1;
   bool have_fuzz = false, print_jobs = false;
@@ -240,6 +288,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--grid") grid_name = next();
     else if (arg == "--jobs") jobs_procs = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--shard-timeout")
+      shard_timeout_s = std::strtol(next(), nullptr, 10);
     else if (arg == "--out") out_path = next();
     else if (arg == "--ledger") ledger_path = next();
     else if (arg == "--print-jobs") print_jobs = true;
@@ -298,6 +348,6 @@ int main(int argc, char** argv) {
 
   if (!grid_name.empty() || print_jobs)
     return run_grid(grid_name.empty() ? "default" : grid_name, jobs_procs,
-                    out_path, ledger_path, print_jobs);
+                    out_path, ledger_path, print_jobs, shard_timeout_s);
   return usage(argv[0]);
 }
